@@ -1,0 +1,259 @@
+package emlrtm
+
+import (
+	"github.com/emlrtm/emlrtm/internal/baselines"
+	"github.com/emlrtm/emlrtm/internal/dataset"
+	"github.com/emlrtm/emlrtm/internal/dyndnn"
+	"github.com/emlrtm/emlrtm/internal/experiments"
+	"github.com/emlrtm/emlrtm/internal/hw"
+	"github.com/emlrtm/emlrtm/internal/pareto"
+	"github.com/emlrtm/emlrtm/internal/perf"
+	"github.com/emlrtm/emlrtm/internal/rtm"
+	"github.com/emlrtm/emlrtm/internal/sim"
+	"github.com/emlrtm/emlrtm/internal/trace"
+	"github.com/emlrtm/emlrtm/internal/workload"
+)
+
+// ---- Dynamic DNN (the paper's application-side contribution) ----
+
+// Aliases into the dynamic-DNN package: model construction, incremental
+// training, evaluation and switch-cost accounting.
+type (
+	// DynDNNConfig configures the dynamic CNN architecture.
+	DynDNNConfig = dyndnn.Config
+	// DynDNN is a trained or trainable dynamic DNN with G nested
+	// configurations selected via SetLevel.
+	DynDNN = dyndnn.Model
+	// TrainConfig controls the incremental trainer (Fig 3(b)).
+	TrainConfig = dyndnn.TrainConfig
+	// TrainReport summarises an incremental training run.
+	TrainReport = dyndnn.TrainReport
+	// EvalResult holds per-configuration validation metrics (Fig 4(b)).
+	EvalResult = dyndnn.EvalResult
+	// SwitchCostModel prices configuration/model switches (Park et al.).
+	SwitchCostModel = dyndnn.SwitchCostModel
+	// SwitchCost is one switch's latency/energy/bytes cost.
+	SwitchCost = dyndnn.SwitchCost
+)
+
+// NewDynDNN constructs an untrained dynamic DNN.
+func NewDynDNN(cfg DynDNNConfig) (*DynDNN, error) { return dyndnn.New(cfg) }
+
+// DefaultDynDNNConfig is the paper-scale model (4 groups, 32×32×3 input).
+func DefaultDynDNNConfig() DynDNNConfig { return dyndnn.DefaultConfig() }
+
+// QuickDynDNNConfig is a reduced model for fast experimentation.
+func QuickDynDNNConfig() DynDNNConfig { return dyndnn.QuickConfig() }
+
+// DefaultTrainConfig is the paper-scale incremental training recipe.
+func DefaultTrainConfig() TrainConfig { return dyndnn.DefaultTrainConfig() }
+
+// ---- Synthetic dataset (CIFAR-10 stand-in) ----
+
+type (
+	// DatasetConfig parametrises synthetic data generation.
+	DatasetConfig = dataset.Config
+	// Dataset holds generated train/validation tensors and labels.
+	Dataset = dataset.Dataset
+)
+
+// GenerateDataset builds the deterministic synthetic classification task.
+func GenerateDataset(cfg DatasetConfig) (*Dataset, error) { return dataset.Generate(cfg) }
+
+// DefaultDatasetConfig mirrors the paper's CIFAR-10 setting.
+func DefaultDatasetConfig() DatasetConfig { return dataset.DefaultConfig() }
+
+// QuickDatasetConfig is a reduced dataset for fast experimentation.
+func QuickDatasetConfig() DatasetConfig { return dataset.QuickConfig() }
+
+// ---- Hardware platforms ----
+
+type (
+	// Platform is a complete SoC/board model.
+	Platform = hw.Platform
+	// Cluster is one voltage/frequency domain of a platform.
+	Cluster = hw.Cluster
+	// OPP is a DVFS operating performance point.
+	OPP = hw.OPP
+	// ThermalParams is the lumped RC thermal model.
+	ThermalParams = hw.ThermalParams
+)
+
+// OdroidXU3 returns the paper's primary evaluation board, calibrated to
+// Table I.
+func OdroidXU3() *Platform { return hw.OdroidXU3() }
+
+// JetsonNano returns the paper's second Table I platform.
+func JetsonNano() *Platform { return hw.JetsonNano() }
+
+// FlagshipSoC returns a representative NPU-equipped phone SoC (the Fig 2
+// scenario platform).
+func FlagshipSoC() *Platform { return hw.FlagshipSoC() }
+
+// Platforms returns every built-in platform keyed by name.
+func Platforms() map[string]*Platform { return hw.Catalog() }
+
+// ---- Operating points, Pareto queries, budgets ----
+
+type (
+	// ModelProfile characterises a dynamic DNN per level for the perf
+	// model (MACs, accuracy, memory).
+	ModelProfile = perf.ModelProfile
+	// LevelSpec is one level of a ModelProfile.
+	LevelSpec = perf.LevelSpec
+	// OperatingPoint is one point of the E/P/t/accuracy space (Fig 4(a)).
+	OperatingPoint = perf.OperatingPoint
+	// EnumerateOptions filters operating-point enumeration.
+	EnumerateOptions = perf.EnumerateOptions
+	// Budget expresses latency/energy/power/accuracy constraints.
+	Budget = pareto.Budget
+)
+
+// PaperReferenceProfile is the paper's dynamic DNN with published Fig 4(b)
+// accuracies and the Table I calibration workload.
+func PaperReferenceProfile() ModelProfile { return perf.PaperReferenceProfile() }
+
+// OperatingPoints enumerates the space of a profile on a platform.
+func OperatingPoints(p *Platform, prof ModelProfile, opt EnumerateOptions) []OperatingPoint {
+	return perf.Enumerate(p, prof, opt)
+}
+
+// BestOperatingPoint selects the feasible point with maximum accuracy,
+// then minimum energy (the paper's worked-example rule). ok is false when
+// the budget is unsatisfiable.
+func BestOperatingPoint(points []OperatingPoint, b Budget) (OperatingPoint, bool) {
+	return pareto.Best(points, b)
+}
+
+// MinEnergyOperatingPoint selects the feasible point with minimum energy.
+func MinEnergyOperatingPoint(points []OperatingPoint, b Budget) (OperatingPoint, bool) {
+	return pareto.MinEnergy(points, b)
+}
+
+// ParetoFrontier filters points to the (latency, energy, -accuracy)
+// non-dominated subset.
+func ParetoFrontier(points []OperatingPoint) []OperatingPoint {
+	return pareto.Frontier(points, pareto.LatencyEnergyMetric)
+}
+
+// ---- Simulation and runtime management (Fig 2 / Fig 5) ----
+
+type (
+	// App describes a simulated workload (DNN stream, render, background).
+	App = sim.App
+	// Placement binds an app to a cluster and core count.
+	Placement = sim.Placement
+	// Engine is the discrete-event simulator.
+	Engine = sim.Engine
+	// SimConfig configures an Engine.
+	SimConfig = sim.Config
+	// SimReport is the outcome of a simulation run.
+	SimReport = sim.Report
+	// AppInfo is the observable state of one simulated app.
+	AppInfo = sim.AppInfo
+	// Controller is the runtime-manager hook invoked by the engine.
+	Controller = sim.Controller
+	// Event is an observable simulator event.
+	Event = sim.Event
+
+	// Manager is the paper's runtime resource manager (Fig 5).
+	Manager = rtm.Manager
+	// Requirement is an application's demands on the manager.
+	Requirement = rtm.Requirement
+	// Registry is the knob/monitor namespace of the Fig 5 architecture.
+	Registry = rtm.Registry
+	// Governor is a conventional DVFS policy (baseline).
+	Governor = rtm.Governor
+	// Scenario is a scripted workload timeline.
+	Scenario = workload.Scenario
+)
+
+// Workload kind constants re-exported for App construction.
+const (
+	KindDNN        = sim.KindDNN
+	KindRender     = sim.KindRender
+	KindBackground = sim.KindBackground
+)
+
+// NewEngine validates the config and builds a simulator.
+func NewEngine(cfg SimConfig) (*Engine, error) { return sim.New(cfg) }
+
+// NewManager builds a runtime manager with per-app requirements.
+func NewManager(reqs map[string]Requirement) *Manager { return rtm.NewManager(reqs) }
+
+// NewGovernorController builds the governor-only baseline controller.
+func NewGovernorController(g Governor) Controller { return rtm.NewGovernorController(g) }
+
+// OndemandGovernor returns the classic load-threshold DVFS governor.
+func OndemandGovernor() Governor { return rtm.OndemandGovernor{} }
+
+// PerformanceGovernor returns the max-frequency governor.
+func PerformanceGovernor() Governor { return rtm.PerformanceGovernor{} }
+
+// Fig2Scenario returns the paper's Fig 2 runtime timeline.
+func Fig2Scenario() Scenario { return workload.Fig2Scenario() }
+
+// MobileProfile returns the mobile-vision-class profile the Fig 2
+// scenario's DNNs use.
+func MobileProfile() ModelProfile { return workload.MobileProfile() }
+
+// RunScenario executes a scripted scenario under a fresh manager and
+// returns the engine, manager and report.
+func RunScenario(s Scenario, p *Platform, tickS float64, logf func(string, ...any)) (*Engine, *Manager, SimReport, error) {
+	return workload.Run(s, p, tickS, logf)
+}
+
+// ---- Baselines ----
+
+type (
+	// StaticModelSet is the NetAdapt-style per-setting model deployment.
+	StaticModelSet = baselines.StaticModelSet
+	// BigLittle is the two-model baseline of Park et al.
+	BigLittle = baselines.BigLittle
+)
+
+// BuildStaticSet generates the static model per hardware setting meeting a
+// latency budget.
+func BuildStaticSet(p *Platform, prof ModelProfile, budgetS float64) StaticModelSet {
+	return baselines.BuildStaticSet(p, prof, budgetS)
+}
+
+// NewBigLittle builds the two-model baseline from a profile's extremes.
+func NewBigLittle(prof ModelProfile, escalationRate float64) BigLittle {
+	return baselines.NewBigLittle(prof, escalationRate)
+}
+
+// ---- Experiments (tables & figures) ----
+
+type (
+	// ExperimentOptions selects experiment scale and seeding.
+	ExperimentOptions = experiments.Options
+	// Table is an aligned text/CSV table.
+	Table = trace.Table
+	// Figure is a set of named series rendered as CSV.
+	Figure = trace.Figure
+)
+
+// Experiment drivers; see DESIGN.md §4 for the index.
+var (
+	// Table1 reproduces Table I from the calibrated platform models.
+	Table1 = experiments.Table1
+	// Fig1 reproduces the design-time platform mapping.
+	Fig1 = experiments.Fig1
+	// Fig2 runs the runtime scenario under the manager.
+	Fig2 = experiments.Fig2
+	// TrainDynamic runs incremental training and the Fig 4(b) evaluation.
+	TrainDynamic = experiments.TrainDynamic
+	// Fig4a enumerates the E/t operating-point space.
+	Fig4a = experiments.Fig4a
+	// Fig4Budgets reproduces the Section IV worked examples.
+	Fig4Budgets = experiments.Fig4Budgets
+	// Fig5 runs the closed-loop disturbance comparison.
+	Fig5 = experiments.Fig5
+	// AblationKnobs measures the knob-combination trade-off range.
+	AblationKnobs = experiments.AblationKnobs
+	// AblationSwitching compares storage/switching across deployments.
+	AblationSwitching = experiments.AblationSwitching
+	// AblationNoRTM compares the manager against a governor on Fig 2.
+	AblationNoRTM = experiments.AblationNoRTM
+)

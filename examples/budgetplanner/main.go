@@ -1,0 +1,52 @@
+// Budgetplanner: explore the Fig 4(a) operating-point space of the Odroid
+// XU3 and answer budget queries, including the paper's two worked
+// examples: (400 ms, 100 mJ) → 100% model on the A7 @ 900 MHz, and
+// (200 ms, 150 mJ) → 75% model on the A15 near 1 GHz.
+package main
+
+import (
+	"fmt"
+)
+
+import emlrtm "github.com/emlrtm/emlrtm"
+
+func main() {
+	points := emlrtm.OperatingPoints(emlrtm.OdroidXU3(), emlrtm.PaperReferenceProfile(),
+		emlrtm.EnumerateOptions{})
+	fmt.Printf("operating-point space: %d points (4 configs × 17 A15 + 12 A7 DVFS levels)\n",
+		len(points))
+
+	frontier := emlrtm.ParetoFrontier(points)
+	fmt.Printf("Pareto frontier (latency, energy, accuracy): %d points\n\n", len(frontier))
+
+	queries := []struct {
+		name string
+		b    emlrtm.Budget
+	}{
+		{"paper example 1: 400 ms, 100 mJ", emlrtm.Budget{MaxLatencyS: 0.400, MaxEnergyMJ: 100}},
+		{"paper example 2: 200 ms, 150 mJ", emlrtm.Budget{MaxLatencyS: 0.200, MaxEnergyMJ: 150}},
+		{"tight: 60 ms, any energy", emlrtm.Budget{MaxLatencyS: 0.060}},
+		{"frugal: any latency, 30 mJ", emlrtm.Budget{MaxEnergyMJ: 30}},
+		{"accuracy floor 0.70, 300 ms", emlrtm.Budget{MaxLatencyS: 0.300, MinAccuracy: 0.70}},
+		{"impossible: 1 ms", emlrtm.Budget{MaxLatencyS: 0.001}},
+	}
+	for _, q := range queries {
+		best, ok := emlrtm.BestOperatingPoint(points, q.b)
+		if !ok {
+			fmt.Printf("%-34s -> no feasible operating point\n", q.name)
+			continue
+		}
+		fmt.Printf("%-34s -> %s\n", q.name, best)
+	}
+
+	// Minimum-energy planning for a soft-real-time app: sweep frame rates.
+	fmt.Println("\nminimum-energy point per frame-rate target:")
+	for _, fps := range []float64{1, 2, 5, 10, 25} {
+		best, ok := emlrtm.MinEnergyOperatingPoint(points, emlrtm.Budget{MaxLatencyS: 1 / fps})
+		if !ok {
+			fmt.Printf("  %5.0f fps: infeasible on this platform\n", fps)
+			continue
+		}
+		fmt.Printf("  %5.0f fps: %s\n", fps, best)
+	}
+}

@@ -1,0 +1,51 @@
+// Designtime: the Fig 1 exercise — deploy the same dynamic DNN across
+// three platform classes (NPU flagship, GPU Jetson, CPU-only Odroid) under
+// three application requirements, and see how much compression each
+// platform needs, or where a requirement is simply unreachable.
+package main
+
+import (
+	"fmt"
+)
+
+import emlrtm "github.com/emlrtm/emlrtm"
+
+func main() {
+	prof := emlrtm.PaperReferenceProfile()
+	requirements := []struct {
+		name   string
+		fps    float64
+		minAcc float64
+	}{
+		{"1 fps, very-high accuracy", 1, 0.71},
+		{"25 fps, high accuracy", 25, 0.68},
+		{"60 fps, medium accuracy", 60, 0.62},
+	}
+
+	for _, plat := range []*emlrtm.Platform{
+		emlrtm.FlagshipSoC(), emlrtm.JetsonNano(), emlrtm.OdroidXU3(),
+	} {
+		points := emlrtm.OperatingPoints(plat, prof, emlrtm.EnumerateOptions{})
+		fmt.Printf("%s:\n", plat.Name)
+		for _, req := range requirements {
+			b := emlrtm.Budget{MaxLatencyS: 1 / req.fps, MinAccuracy: req.minAcc}
+			best, ok := emlrtm.MinEnergyOperatingPoint(points, b)
+			if ok {
+				fmt.Printf("  %-28s -> %s model on %s @ %.0f MHz (%.1f ms, %.1f mJ)\n",
+					req.name, best.LevelName, best.Cluster, best.FreqGHz*1000,
+					best.LatencyS*1000, best.EnergyMJ)
+				continue
+			}
+			// Requirement unreachable: report the best accuracy compromise
+			// (the paper's point: weaker platforms trade accuracy to meet
+			// the same time budget).
+			relaxed, ok2 := emlrtm.BestOperatingPoint(points, emlrtm.Budget{MaxLatencyS: 1 / req.fps})
+			if ok2 {
+				fmt.Printf("  %-28s -> accuracy unmet; closest: %s model on %s (top-1 %.1f%%)\n",
+					req.name, relaxed.LevelName, relaxed.Cluster, relaxed.Accuracy*100)
+			} else {
+				fmt.Printf("  %-28s -> infeasible at any configuration\n", req.name)
+			}
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Quickstart: build the paper's dynamic DNN, train it incrementally
+// (Fig 3), evaluate every configuration (Fig 4(b)), and switch
+// configurations at runtime — the whole application-side contribution in
+// one short program.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	emlrtm "github.com/emlrtm/emlrtm"
+)
+
+func main() {
+	// A reduced-scale dataset and model keep the demo under a minute;
+	// swap in Default*Config for paper scale.
+	dcfg := emlrtm.QuickDatasetConfig()
+	ds, err := emlrtm.GenerateDataset(dcfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model, err := emlrtm.NewDynDNN(emlrtm.QuickDynDNNConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Incremental training: step i trains group i with groups < i frozen
+	// (Fig 3(b)). Earlier groups are bit-identical afterwards, which is
+	// what makes runtime pruning free.
+	tcfg := emlrtm.DefaultTrainConfig()
+	tcfg.EpochsPerStep = 4
+	tcfg.Logf = func(f string, a ...any) { fmt.Fprintf(os.Stderr, f+"\n", a...) }
+	if _, err := model.TrainIncremental(ds, tcfg); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("configuration ladder (Fig 4(b)):")
+	for _, ev := range model.EvaluateAll(ds) {
+		fmt.Printf("  %4s model: top-1 %.1f%% (±%.1f over classes), confidence %.2f, %d MACs, %d params\n",
+			ev.LevelName, ev.Accuracy*100, ev.ClassStd*100, ev.Confidence, ev.MACs, ev.Params)
+	}
+
+	// Runtime switching: a pointer bump, no retraining, no extra storage.
+	batch := ds.ValX.Slice4D(0, 4)
+	for _, level := range []int{4, 1, 3} {
+		model.SetLevel(level)
+		out := model.Forward(batch)
+		pred := out.ArgMaxRow()
+		fmt.Printf("at %s: predictions for 4 validation images: %v (true: %v)\n",
+			model.LevelName(level), pred, ds.ValY[:4])
+	}
+
+	fmt.Printf("\none dynamic model stores %d KiB and serves all %d configurations\n",
+		model.MemoryBytes(model.Levels())/1024, model.Levels())
+}

@@ -1,0 +1,149 @@
+package baselines
+
+import (
+	"testing"
+
+	"github.com/emlrtm/emlrtm/internal/hw"
+	"github.com/emlrtm/emlrtm/internal/perf"
+)
+
+func TestBuildStaticSetCoversSettings(t *testing.T) {
+	plat := hw.OdroidXU3()
+	prof := perf.PaperReferenceProfile()
+	set := BuildStaticSet(plat, prof, 0.250)
+	if len(set.Models) == 0 {
+		t.Fatal("empty static set")
+	}
+	// Settings too slow for even the 25% model produce no entry; fast
+	// settings carry the 100% model. Both extremes must appear.
+	total := 0
+	for _, cl := range plat.Clusters {
+		total += len(cl.OPPs)
+	}
+	if len(set.Models) >= total {
+		t.Fatalf("every setting got a model (%d of %d); slow settings must be excluded",
+			len(set.Models), total)
+	}
+	saw100, saw25 := false, false
+	for _, m := range set.Models {
+		if m.MACs == prof.Level(4).MACs {
+			saw100 = true
+		}
+		if m.MACs == prof.Level(1).MACs {
+			saw25 = true
+		}
+	}
+	if !saw100 || !saw25 {
+		t.Fatalf("expected both extremes in the set (100%%: %v, 25%%: %v)", saw100, saw25)
+	}
+}
+
+func TestStaticSetStorageAccounting(t *testing.T) {
+	plat := hw.OdroidXU3()
+	prof := perf.PaperReferenceProfile()
+	set := BuildStaticSet(plat, prof, 0.250)
+	distinct := set.DistinctModels()
+	if distinct < 2 || distinct > prof.MaxLevel() {
+		t.Fatalf("distinct models = %d, want within [2,%d]", distinct, prof.MaxLevel())
+	}
+	// Storage equals the sum of the distinct model sizes.
+	var want int64
+	seen := map[int64]bool{}
+	for _, m := range set.Models {
+		if !seen[m.Bytes] {
+			seen[m.Bytes] = true
+			want += m.Bytes
+		}
+	}
+	if got := set.StorageBytes(); got != want {
+		t.Fatalf("StorageBytes = %d, want %d", got, want)
+	}
+	// The static set always stores at least as much as one dynamic model.
+	if set.StorageBytes() < prof.Level(prof.MaxLevel()).MemBytes {
+		t.Fatal("static set cannot be smaller than the full model")
+	}
+}
+
+func TestStaticSetTighterBudgetSmallerModels(t *testing.T) {
+	plat := hw.OdroidXU3()
+	prof := perf.PaperReferenceProfile()
+	loose := BuildStaticSet(plat, prof, 2.0)
+	tight := BuildStaticSet(plat, prof, 0.060)
+	maxMACs := func(s StaticModelSet) int64 {
+		var m int64
+		for _, x := range s.Models {
+			if x.MACs > m {
+				m = x.MACs
+			}
+		}
+		return m
+	}
+	if maxMACs(tight) >= maxMACs(loose) {
+		t.Fatal("tighter budgets must force smaller models")
+	}
+	if len(tight.Models) >= len(loose.Models) {
+		t.Fatal("tighter budgets must exclude more settings")
+	}
+}
+
+func TestStaticSwitchCost(t *testing.T) {
+	plat := hw.OdroidXU3()
+	prof := perf.PaperReferenceProfile()
+	set := BuildStaticSet(plat, prof, 0.250)
+	model := SwitchCostModel{MemoryBandwidth: 200e6, ReinitLatency: 0.05, LoadPower: 1.5}
+	same := set.SwitchCost(model, 1000, 1000)
+	if same.LatencyS != 0 || same.BytesMoved != 0 {
+		t.Fatal("same-size switch must be free")
+	}
+	diff := set.SwitchCost(model, 1000, 2000)
+	if diff.LatencyS <= 0.05 || diff.BytesMoved != 2000 {
+		t.Fatalf("switch cost %+v implausible", diff)
+	}
+}
+
+func TestBigLittleAccounting(t *testing.T) {
+	prof := perf.PaperReferenceProfile()
+	bl := NewBigLittle(prof, 0.25)
+	// Expected compute: little always + 25% of big.
+	want := float64(prof.Level(1).MACs) + 0.25*float64(prof.Level(4).MACs)
+	if got := bl.ExpectedMACs(); got != want {
+		t.Fatalf("ExpectedMACs = %v, want %v", got, want)
+	}
+	acc := bl.ExpectedAccuracy()
+	if acc <= prof.Level(1).Accuracy || acc >= prof.Level(4).Accuracy {
+		t.Fatalf("expected accuracy %.3f must lie between the extremes", acc)
+	}
+	if bl.StorageBytes() != prof.Level(1).MemBytes+prof.Level(4).MemBytes {
+		t.Fatal("storage must be both models")
+	}
+}
+
+func TestBigLittleWorstCaseLatency(t *testing.T) {
+	prof := perf.PaperReferenceProfile()
+	bl := NewBigLittle(prof, 0.25)
+	cl := hw.OdroidXU3().Cluster("a15")
+	opp := cl.MaxOPP()
+	worst := bl.WorstCaseLatencyS(cl, opp, cl.Cores)
+	bigOnly := perf.InferenceLatencyS(cl, opp, cl.Cores, prof.Level(4).MACs)
+	littleOnly := perf.InferenceLatencyS(cl, opp, cl.Cores, prof.Level(1).MACs)
+	if worst <= bigOnly || worst >= bigOnly+littleOnly+0.01 {
+		t.Fatalf("worst case %.3fs out of range (big %.3fs, little %.3fs)", worst, bigOnly, littleOnly)
+	}
+	// The paper's point: the two-model baseline has a worse tail than any
+	// single dynamic configuration it contains.
+	if worst <= bigOnly {
+		t.Fatal("escalation must cost more than the big model alone")
+	}
+}
+
+func TestBigLittleMoreEscalationMoreComputeMoreAccuracy(t *testing.T) {
+	prof := perf.PaperReferenceProfile()
+	lo := NewBigLittle(prof, 0.1)
+	hi := NewBigLittle(prof, 0.5)
+	if hi.ExpectedMACs() <= lo.ExpectedMACs() {
+		t.Fatal("more escalation must cost more compute")
+	}
+	if hi.ExpectedAccuracy() <= lo.ExpectedAccuracy() {
+		t.Fatal("more escalation must gain accuracy")
+	}
+}

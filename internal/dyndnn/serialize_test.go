@@ -1,0 +1,87 @@
+package dyndnn
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/emlrtm/emlrtm/internal/dataset"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := tinyModel(t)
+	// Perturb some weights so the round trip is non-trivial.
+	for i, p := range m.Net.Params() {
+		p.Value.Data()[0] = float32(i) * 0.25
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sum := m.Checksum(m.Levels())
+
+	other := tinyModel(t)
+	if other.Checksum(other.Levels()) == sum {
+		t.Fatal("precondition: models should differ before Load")
+	}
+	if err := other.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if other.Checksum(other.Levels()) != sum {
+		t.Fatal("weights differ after round trip")
+	}
+}
+
+func TestLoadedModelPredictsIdentically(t *testing.T) {
+	m := tinyModel(t)
+	ds := dataset.MustGenerate(miniData())
+	x := ds.ValX.Slice4D(0, 4)
+	want := m.Forward(x).Clone()
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := tinyModel(t)
+	if err := other.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := other.Forward(x); !got.AllClose(want, 0) {
+		t.Fatal("loaded model predicts differently")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	m := tinyModel(t)
+	if err := m.Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := m.Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestLoadRejectsArchitectureMismatch(t *testing.T) {
+	m := tinyModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bigger := DefaultConfig() // 32×32 vs the quick 16×16
+	other := MustNew(bigger)
+	if err := other.Load(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("architecture mismatch accepted")
+	}
+}
+
+func TestLoadRejectsTruncatedFile(t *testing.T) {
+	m := tinyModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	other := tinyModel(t)
+	if err := other.Load(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package dyndnn
+
+import "fmt"
+
+// SwitchCostModel quantifies the cost of changing operating point at
+// runtime, reproducing the argument the paper takes from Park et al. [20]:
+// deploying multiple static DNNs to cover all hardware settings incurs
+// significant memory storage overhead, and switching between them at
+// runtime causes significant delay and energy; a dynamic DNN switches
+// within one memory footprint.
+type SwitchCostModel struct {
+	// MemoryBandwidth is the sustained model-load bandwidth in bytes/s
+	// (flash/eMMC → DRAM on an embedded platform).
+	MemoryBandwidth float64
+	// ReinitLatency is the fixed runtime/graph re-initialisation time in
+	// seconds charged whenever a different model binary is activated.
+	ReinitLatency float64
+	// LoadPower is the platform power draw in watts while loading.
+	LoadPower float64
+}
+
+// DefaultSwitchCostModel uses representative embedded numbers: ~200 MB/s
+// eMMC read bandwidth, 50 ms framework re-init, 1.5 W active load power.
+func DefaultSwitchCostModel() SwitchCostModel {
+	return SwitchCostModel{
+		MemoryBandwidth: 200e6,
+		ReinitLatency:   0.050,
+		LoadPower:       1.5,
+	}
+}
+
+// SwitchCost is the cost of one model-configuration change.
+type SwitchCost struct {
+	BytesMoved int64
+	LatencyS   float64
+	EnergyJ    float64
+}
+
+// DynamicSwitch returns the cost of switching the dynamic DNN between two
+// levels: no parameters move (all levels live in one footprint); the only
+// cost is updating the active-group setting, modelled as a fixed few
+// microseconds of control work.
+func (s SwitchCostModel) DynamicSwitch(from, to int) SwitchCost {
+	if from == to {
+		return SwitchCost{}
+	}
+	const controlLatency = 5e-6
+	return SwitchCost{
+		BytesMoved: 0,
+		LatencyS:   controlLatency,
+		EnergyJ:    controlLatency * s.LoadPower,
+	}
+}
+
+// StaticSwitch returns the cost of swapping in a different static model of
+// the given size: the new model's parameters are loaded from storage and
+// the runtime re-initialises.
+func (s SwitchCostModel) StaticSwitch(newModelBytes int64) SwitchCost {
+	lat := float64(newModelBytes)/s.MemoryBandwidth + s.ReinitLatency
+	return SwitchCost{
+		BytesMoved: newModelBytes,
+		LatencyS:   lat,
+		EnergyJ:    lat * s.LoadPower,
+	}
+}
+
+// StorageComparison contrasts the storage of one dynamic model against a
+// set of static models covering the same operating points.
+type StorageComparison struct {
+	DynamicBytes     int64 // one model serving all levels
+	StaticTotalBytes int64 // Σ standalone model per level
+	Ratio            float64
+}
+
+// CompareStorage computes the storage comparison for model m, assuming the
+// static alternative deploys one standalone model per configuration level
+// (each sized like the corresponding nested configuration, which is
+// favourable to the static baseline — NetAdapt-style models are typically
+// not nested and would be at least this large).
+func CompareStorage(m *Model) StorageComparison {
+	dyn := m.MemoryBytes(m.Cfg.Groups)
+	var static int64
+	for level := 1; level <= m.Cfg.Groups; level++ {
+		static += m.MemoryBytes(level)
+	}
+	r := 0.0
+	if dyn > 0 {
+		r = float64(static) / float64(dyn)
+	}
+	return StorageComparison{DynamicBytes: dyn, StaticTotalBytes: static, Ratio: r}
+}
+
+// String renders the comparison for reports.
+func (c StorageComparison) String() string {
+	return fmt.Sprintf("dynamic %.1f KiB vs static-set %.1f KiB (%.2fx)",
+		float64(c.DynamicBytes)/1024, float64(c.StaticTotalBytes)/1024, c.Ratio)
+}

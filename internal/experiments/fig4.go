@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/emlrtm/emlrtm/internal/hw"
+	"github.com/emlrtm/emlrtm/internal/pareto"
+	"github.com/emlrtm/emlrtm/internal/perf"
+	"github.com/emlrtm/emlrtm/internal/trace"
+)
+
+// Fig4aResult is the operating-point space of Fig 4(a): for each (cluster,
+// model level) series, energy vs classification time across the DVFS
+// ladder.
+type Fig4aResult struct {
+	Points []perf.OperatingPoint
+	Figure *trace.Figure
+	Stats  pareto.RangeStats
+}
+
+// Fig4a enumerates the Odroid XU3 space exactly as the paper does: 4 model
+// configurations × (A7: 12, A15: 17) frequency levels, full clusters.
+// prof supplies the per-level MACs/accuracy (use the trained profile or
+// perf.PaperReferenceProfile()).
+func Fig4a(prof perf.ModelProfile) Fig4aResult {
+	plat := hw.OdroidXU3()
+	pts := perf.Enumerate(plat, prof, perf.EnumerateOptions{})
+
+	fig := trace.NewFigure("Fig 4(a) — E/t operating points (Odroid XU3)",
+		"classification_time_ms", "energy_mJ")
+	series := map[string]*trace.Series{}
+	for _, p := range pts {
+		key := fmt.Sprintf("%s, %s model", clusterLabel(p.Cluster), p.LevelName)
+		s, ok := series[key]
+		if !ok {
+			s = fig.NewSeries(key)
+			series[key] = s
+		}
+		s.Add(p.LatencyS*1000, p.EnergyMJ)
+	}
+	return Fig4aResult{Points: pts, Figure: fig, Stats: pareto.Stats(pts)}
+}
+
+func clusterLabel(name string) string {
+	switch name {
+	case "a15":
+		return "A15"
+	case "a7":
+		return "A7"
+	}
+	return name
+}
+
+// BudgetCase is one worked example of Section IV.
+type BudgetCase struct {
+	Name        string
+	Budget      pareto.Budget
+	Selected    perf.OperatingPoint
+	Feasible    bool
+	PaperAnswer string
+}
+
+// Fig4BudgetsResult bundles the worked examples with a rendered table.
+type Fig4BudgetsResult struct {
+	Cases []BudgetCase
+	Table *trace.Table
+}
+
+// Fig4Budgets reproduces the paper's two worked examples on the Fig 4(a)
+// space: (400 ms, 100 mJ) → 100% model on the A7 at 900 MHz, and
+// (200 ms, 150 mJ) → 75% model on the A15 near 1 GHz.
+func Fig4Budgets(prof perf.ModelProfile) Fig4BudgetsResult {
+	pts := perf.Enumerate(hw.OdroidXU3(), prof, perf.EnumerateOptions{})
+	cases := []struct {
+		name   string
+		b      pareto.Budget
+		answer string
+	}{
+		{"400ms / 100mJ", pareto.Budget{MaxLatencyS: 0.400, MaxEnergyMJ: 100},
+			"100% model on A7 @ 900 MHz"},
+		{"200ms / 150mJ", pareto.Budget{MaxLatencyS: 0.200, MaxEnergyMJ: 150},
+			"75% model on A15 @ 1 GHz"},
+	}
+	res := Fig4BudgetsResult{
+		Table: trace.NewTable("Fig 4 — budget worked examples",
+			"Budget", "Selected", "t (ms)", "E (mJ)", "Top-1 (%)", "Paper"),
+	}
+	for _, c := range cases {
+		best, ok := pareto.Best(pts, c.b)
+		bc := BudgetCase{Name: c.name, Budget: c.b, Selected: best, Feasible: ok, PaperAnswer: c.answer}
+		res.Cases = append(res.Cases, bc)
+		sel := "infeasible"
+		if ok {
+			sel = fmt.Sprintf("%s model on %s @ %.0f MHz",
+				best.LevelName, clusterLabel(best.Cluster), best.FreqGHz*1000)
+		}
+		res.Table.AddRow(c.name, sel, best.LatencyS*1000, best.EnergyMJ, best.Accuracy*100, c.answer)
+	}
+	return res
+}

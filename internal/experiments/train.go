@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/emlrtm/emlrtm/internal/dataset"
+	"github.com/emlrtm/emlrtm/internal/dyndnn"
+	"github.com/emlrtm/emlrtm/internal/perf"
+	"github.com/emlrtm/emlrtm/internal/trace"
+)
+
+// TrainResult is the outcome of the Fig 3 training procedure and the
+// Fig 4(b) evaluation.
+type TrainResult struct {
+	Model    *dyndnn.Model
+	Report   *dyndnn.TrainReport
+	Evals    []dyndnn.EvalResult
+	Profile  perf.ModelProfile // measured profile for downstream experiments
+	Fig4b    *trace.Table
+	Prefixes bool // earlier-group weights bit-identical across steps
+}
+
+// TrainDynamic runs the paper's incremental training (Fig 3) on the
+// synthetic dataset and evaluates every configuration (Fig 4(b)): mean
+// top-1 with per-class standard deviation (the error bars) and mean
+// confidence, plus the MAC/parameter accounting.
+func TrainDynamic(o Options) (TrainResult, error) {
+	ds, err := dataset.Generate(o.datasetConfig())
+	if err != nil {
+		return TrainResult{}, err
+	}
+	model, err := dyndnn.New(o.modelConfig())
+	if err != nil {
+		return TrainResult{}, err
+	}
+
+	rep, err := model.TrainIncremental(ds, o.trainConfig())
+	if err != nil {
+		return TrainResult{}, err
+	}
+	evals := model.EvaluateAll(ds)
+
+	table := trace.NewTable("Fig 4(b) — top-1 accuracy per configuration (synthetic CIFAR-10 analogue)",
+		"Config", "Top-1 (%)", "σ over classes (%)", "Confidence", "MACs", "Params", "Paper (%)")
+	accs := make([]float64, 0, len(evals))
+	confs := make([]float64, 0, len(evals))
+	for i, ev := range evals {
+		paper := "-"
+		if i < len(perf.PaperAccuracies) {
+			paper = fmt.Sprintf("%.1f", perf.PaperAccuracies[i]*100)
+		}
+		table.AddRow(ev.LevelName, ev.Accuracy*100, ev.ClassStd*100, ev.Confidence,
+			ev.MACs, ev.Params, paper)
+		accs = append(accs, ev.Accuracy)
+		confs = append(confs, ev.Confidence)
+	}
+
+	prof := perf.UniformProfile("dyndnn-measured",
+		model.MACs(model.Levels()), model.MemoryBytes(model.Levels()), accs, confs)
+
+	return TrainResult{
+		Model:    model,
+		Report:   rep,
+		Evals:    evals,
+		Profile:  prof,
+		Fig4b:    table,
+		Prefixes: true, // enforced by TrainIncremental's per-step panic check
+	}, nil
+}
+
+// AccuracyMonotone reports whether accuracy is non-decreasing with level —
+// the Fig 4(b) shape criterion.
+func (r TrainResult) AccuracyMonotone() bool {
+	for i := 1; i < len(r.Evals); i++ {
+		if r.Evals[i].Accuracy < r.Evals[i-1].Accuracy {
+			return false
+		}
+	}
+	return true
+}
+
+// AccuracySpread returns the top-1 difference between the largest and
+// smallest configuration (the paper measures 71.2 − 56.0 = 15.2 points).
+func (r TrainResult) AccuracySpread() float64 {
+	if len(r.Evals) == 0 {
+		return 0
+	}
+	return r.Evals[len(r.Evals)-1].Accuracy - r.Evals[0].Accuracy
+}

@@ -1,0 +1,79 @@
+package hw
+
+import (
+	"fmt"
+	"math"
+)
+
+// ThermalParams is a lumped RC thermal model of the SoC package:
+//
+//	dT/dt = P/Cth − (T − Tamb)/(Rth·Cth)
+//
+// Steady state is Tamb + Rth·P. ThrottleC is the soft trip point the
+// runtime manager must respect (the Fig 2(c) event: "the temperature of
+// the SoC exceeds thermal limits"); CriticalC is the hardware emergency
+// trip that the simulator reports as a violation.
+type ThermalParams struct {
+	RthKPerW  float64
+	CthJPerK  float64
+	ThrottleC float64
+	CriticalC float64
+}
+
+// Validate reports parameter errors.
+func (t ThermalParams) Validate() error {
+	switch {
+	case t.RthKPerW <= 0 || t.CthJPerK <= 0:
+		return fmt.Errorf("hw: thermal RC must be positive, got R=%f C=%f", t.RthKPerW, t.CthJPerK)
+	case t.CriticalC <= t.ThrottleC:
+		return fmt.Errorf("hw: critical %f must exceed throttle %f", t.CriticalC, t.ThrottleC)
+	}
+	return nil
+}
+
+// SteadyStateC returns the equilibrium temperature at constant power P
+// (watts) and the given ambient.
+func (t ThermalParams) SteadyStateC(ambientC, powerW float64) float64 {
+	return ambientC + t.RthKPerW*powerW
+}
+
+// PowerBudgetW returns the maximum sustained power that keeps steady-state
+// temperature at or below limitC.
+func (t ThermalParams) PowerBudgetW(ambientC, limitC float64) float64 {
+	b := (limitC - ambientC) / t.RthKPerW
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// ThermalState integrates the RC model over simulation time.
+type ThermalState struct {
+	TempC float64
+}
+
+// NewThermalState starts at ambient.
+func NewThermalState(ambientC float64) *ThermalState {
+	return &ThermalState{TempC: ambientC}
+}
+
+// Step advances the model by dt seconds under powerW total SoC power.
+// It uses the exact exponential solution of the linear ODE so large steps
+// remain stable.
+func (s *ThermalState) Step(p ThermalParams, ambientC, powerW, dt float64) {
+	if dt <= 0 {
+		return
+	}
+	tau := p.RthKPerW * p.CthJPerK
+	target := p.SteadyStateC(ambientC, powerW)
+	// T(t+dt) = target + (T - target)·exp(-dt/τ)
+	s.TempC = target + (s.TempC-target)*expNeg(dt/tau)
+}
+
+// expNeg computes e^(-x) with a guard for large x.
+func expNeg(x float64) float64 {
+	if x > 50 {
+		return 0
+	}
+	return math.Exp(-x)
+}

@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/emlrtm/emlrtm/internal/tensor"
+)
+
+// ReLU is a rectified-linear activation. It caches the activation mask for
+// the backward pass and has no parameters, so it is group-agnostic: it
+// simply processes however many channels the active-group setting delivers.
+type ReLU struct {
+	name string
+	mask []bool
+}
+
+// NewReLU constructs a ReLU layer.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return l.name }
+
+// SetActiveGroups implements Layer (no-op).
+func (l *ReLU) SetActiveGroups(int) {}
+
+// Params implements Layer.
+func (l *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if cap(l.mask) < out.Len() {
+		l.mask = make([]bool, out.Len())
+	}
+	l.mask = l.mask[:out.Len()]
+	d := out.Data()
+	for i, v := range d {
+		if v > 0 {
+			l.mask[i] = true
+		} else {
+			l.mask[i] = false
+			d[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	if len(l.mask) != dout.Len() {
+		panic(fmt.Sprintf("nn: %s: backward size %d does not match cached mask %d", l.name, dout.Len(), len(l.mask)))
+	}
+	dx := dout.Clone()
+	d := dx.Data()
+	for i := range d {
+		if !l.mask[i] {
+			d[i] = 0
+		}
+	}
+	return dx
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// Flatten reshapes (N,C,H,W) to (N, C*H*W). Because tensors are NCHW and
+// channel groups are contiguous, each group's features stay contiguous
+// after flattening, which is what GroupedDense relies on.
+type Flatten struct {
+	name      string
+	lastShape []int
+}
+
+// NewFlatten constructs a Flatten layer.
+func NewFlatten(name string) *Flatten { return &Flatten{name: name} }
+
+// Name implements Layer.
+func (l *Flatten) Name() string { return l.name }
+
+// SetActiveGroups implements Layer (no-op).
+func (l *Flatten) SetActiveGroups(int) {}
+
+// Params implements Layer.
+func (l *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.lastShape = append(l.lastShape[:0], x.Shape()...)
+	n := x.Dim(0)
+	return x.Reshape(n, x.Len()/n)
+}
+
+// Backward implements Layer.
+func (l *Flatten) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	return dout.Reshape(l.lastShape...)
+}
+
+var _ Layer = (*Flatten)(nil)

@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/emlrtm/emlrtm/internal/tensor"
+)
+
+// ConfusionMatrix counts predictions per (true class, predicted class).
+// Rows are true classes. It underlies per-class diagnostics of the
+// dynamic DNN's configurations: the paper's Fig 4(b) error bars come from
+// the per-class accuracies on its diagonal.
+type ConfusionMatrix struct {
+	Classes int
+	Counts  [][]int
+}
+
+// NewConfusionMatrix allocates a zeroed matrix.
+func NewConfusionMatrix(classes int) *ConfusionMatrix {
+	m := &ConfusionMatrix{Classes: classes, Counts: make([][]int, classes)}
+	for i := range m.Counts {
+		m.Counts[i] = make([]int, classes)
+	}
+	return m
+}
+
+// Update accumulates a batch of logits against labels.
+func (m *ConfusionMatrix) Update(logits *tensor.Tensor, labels []int) {
+	pred := logits.ArgMaxRow()
+	for i, p := range pred {
+		y := labels[i]
+		if y < 0 || y >= m.Classes || p < 0 || p >= m.Classes {
+			panic(fmt.Sprintf("nn: confusion update out of range: true %d pred %d", y, p))
+		}
+		m.Counts[y][p]++
+	}
+}
+
+// Total returns the number of accumulated samples.
+func (m *ConfusionMatrix) Total() int {
+	t := 0
+	for _, row := range m.Counts {
+		for _, c := range row {
+			t += c
+		}
+	}
+	return t
+}
+
+// Accuracy returns the overall top-1 accuracy.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	total := m.Total()
+	if total == 0 {
+		return 0
+	}
+	diag := 0
+	for i := 0; i < m.Classes; i++ {
+		diag += m.Counts[i][i]
+	}
+	return float64(diag) / float64(total)
+}
+
+// Recall returns the per-class recall (diagonal over row sum); classes
+// with no samples report 0.
+func (m *ConfusionMatrix) Recall(class int) float64 {
+	row := m.Counts[class]
+	sum := 0
+	for _, c := range row {
+		sum += c
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(row[class]) / float64(sum)
+}
+
+// MostConfused returns the off-diagonal cell with the highest count — the
+// class pair the model mixes up most (for the synthetic dataset this
+// should be a within-pair confusion, by construction).
+func (m *ConfusionMatrix) MostConfused() (trueClass, predClass, count int) {
+	for i := 0; i < m.Classes; i++ {
+		for j := 0; j < m.Classes; j++ {
+			if i != j && m.Counts[i][j] > count {
+				trueClass, predClass, count = i, j, m.Counts[i][j]
+			}
+		}
+	}
+	return trueClass, predClass, count
+}
+
+// String renders a compact matrix for logs.
+func (m *ConfusionMatrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "confusion (%d samples, acc %.3f):\n", m.Total(), m.Accuracy())
+	for i, row := range m.Counts {
+		fmt.Fprintf(&b, "  %2d |", i)
+		for _, c := range row {
+			fmt.Fprintf(&b, " %4d", c)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

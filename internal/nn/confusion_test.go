@@ -1,0 +1,49 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/emlrtm/emlrtm/internal/tensor"
+)
+
+func TestConfusionMatrixBasics(t *testing.T) {
+	m := NewConfusionMatrix(3)
+	logits := tensor.FromSlice([]float32{
+		5, 0, 0, // pred 0
+		0, 5, 0, // pred 1
+		0, 5, 0, // pred 1
+		0, 0, 5, // pred 2
+	}, 4, 3)
+	m.Update(logits, []int{0, 1, 0, 2})
+	if m.Total() != 4 {
+		t.Fatalf("total = %d", m.Total())
+	}
+	if m.Accuracy() != 0.75 {
+		t.Fatalf("accuracy = %v", m.Accuracy())
+	}
+	if m.Recall(0) != 0.5 || m.Recall(1) != 1 || m.Recall(2) != 1 {
+		t.Fatalf("recalls = %v %v %v", m.Recall(0), m.Recall(1), m.Recall(2))
+	}
+	tc, pc, n := m.MostConfused()
+	if tc != 0 || pc != 1 || n != 1 {
+		t.Fatalf("most confused = (%d,%d,%d)", tc, pc, n)
+	}
+	if !strings.Contains(m.String(), "acc 0.750") {
+		t.Fatalf("render: %s", m.String())
+	}
+}
+
+func TestConfusionMatrixEmptyAndPanics(t *testing.T) {
+	m := NewConfusionMatrix(2)
+	if m.Accuracy() != 0 || m.Recall(0) != 0 {
+		t.Fatal("empty matrix must report zeros")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range label must panic")
+		}
+	}()
+	logits := tensor.FromSlice([]float32{1, 0}, 1, 2)
+	m.Update(logits, []int{7})
+}

@@ -1,0 +1,43 @@
+package nn
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxWorkers caps batch-level parallelism. Convolution forward/backward
+// parallelise across samples; the cap keeps goroutine churn sensible on
+// large machines while tests on small batches stay deterministic in result
+// (gradients are reduced in a fixed order).
+var maxWorkers = runtime.NumCPU()
+
+// parallelFor runs fn(i) for i in [0,n) across up to maxWorkers goroutines
+// and waits for completion. For n==1 it runs inline.
+func parallelFor(n int, fn func(i int)) {
+	if n <= 1 {
+		if n == 1 {
+			fn(0)
+		}
+		return
+	}
+	workers := maxWorkers
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,70 @@
+package nn
+
+import (
+	"fmt"
+
+	"github.com/emlrtm/emlrtm/internal/tensor"
+)
+
+// MaxPool2x2 is 2×2/stride-2 max pooling. Spatial dims must be even. Like
+// ReLU it is parameter-free and processes whatever channel count arrives.
+type MaxPool2x2 struct {
+	name    string
+	argmax  []int
+	inShape []int
+}
+
+// NewMaxPool2x2 constructs the layer.
+func NewMaxPool2x2(name string) *MaxPool2x2 { return &MaxPool2x2{name: name} }
+
+// Name implements Layer.
+func (l *MaxPool2x2) Name() string { return l.name }
+
+// SetActiveGroups implements Layer (no-op).
+func (l *MaxPool2x2) SetActiveGroups(int) {}
+
+// Params implements Layer.
+func (l *MaxPool2x2) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *MaxPool2x2) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: %s: input rank %d, want 4", l.name, x.Rank()))
+	}
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	l.inShape = append(l.inShape[:0], n, c, h, w)
+	outH, outW := h/2, w/2
+	out := tensor.New(n, c, outH, outW)
+	if cap(l.argmax) < out.Len() {
+		l.argmax = make([]int, out.Len())
+	}
+	l.argmax = l.argmax[:out.Len()]
+	inPer := c * h * w
+	outPer := c * outH * outW
+	parallelFor(n, func(i int) {
+		xi := x.Data()[i*inPer : (i+1)*inPer]
+		oi := out.Data()[i*outPer : (i+1)*outPer]
+		ai := l.argmax[i*outPer : (i+1)*outPer]
+		tensor.MaxPool2x2(xi, c, h, w, oi, ai)
+	})
+	return out
+}
+
+// Backward implements Layer.
+func (l *MaxPool2x2) Backward(dout *tensor.Tensor) *tensor.Tensor {
+	n, c, h, w := l.inShape[0], l.inShape[1], l.inShape[2], l.inShape[3]
+	dx := tensor.New(n, c, h, w)
+	inPer := c * h * w
+	outPer := dout.Len() / n
+	for i := 0; i < n; i++ {
+		di := dout.Data()[i*outPer : (i+1)*outPer]
+		dxi := dx.Data()[i*inPer : (i+1)*inPer]
+		ai := l.argmax[i*outPer : (i+1)*outPer]
+		for j, dv := range di {
+			dxi[ai[j]] += dv
+		}
+	}
+	return dx
+}
+
+var _ Layer = (*MaxPool2x2)(nil)

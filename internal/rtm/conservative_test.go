@@ -1,0 +1,22 @@
+package rtm
+
+import "testing"
+
+func TestConservativeGovernorSteps(t *testing.T) {
+	g := ConservativeGovernor{}
+	if got := g.Decide(0.9, 3, 10); got != 4 {
+		t.Fatalf("high util -> %d, want single step up", got)
+	}
+	if got := g.Decide(0.1, 3, 10); got != 2 {
+		t.Fatalf("low util -> %d, want single step down", got)
+	}
+	if got := g.Decide(0.9, 9, 10); got != 9 {
+		t.Fatal("must not overflow the ladder")
+	}
+	if got := g.Decide(0.1, 0, 10); got != 0 {
+		t.Fatal("must not underflow the ladder")
+	}
+	if g.Name() != "conservative" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,335 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/emlrtm/emlrtm/internal/hw"
+	"github.com/emlrtm/emlrtm/internal/perf"
+)
+
+// This file is the controller-facing API of the engine: the "monitors"
+// (observation) and "knobs" (actuation) the RTM layer of Fig 5 uses.
+
+// ---- Monitors (observation) ----
+
+// Now returns the simulation clock in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Temperature returns the current die temperature in °C — a device monitor.
+func (e *Engine) Temperature() float64 { return e.thermal.TempC }
+
+// ThrottleC returns the platform's thermal throttle trip point.
+func (e *Engine) ThrottleC() float64 { return e.plat.Thermal.ThrottleC }
+
+// Ambient returns the current ambient temperature in °C.
+func (e *Engine) Ambient() float64 { return e.ambient }
+
+// SetAmbient changes the ambient temperature (an environmental
+// disturbance: the device moving into a pocket or sunlight). The thermal
+// trajectory and any pending throttle alarm are re-derived.
+func (e *Engine) SetAmbient(c float64) {
+	e.ambient = c
+	e.refresh()
+}
+
+// Platform returns the simulated platform description.
+func (e *Engine) Platform() *hw.Platform { return e.plat }
+
+// TotalPowerMW returns the instantaneous platform power — a device monitor.
+func (e *Engine) TotalPowerMW() float64 {
+	total := 0.0
+	for _, name := range e.clusterOrder() {
+		cs := e.clusters[name]
+		total += cs.c.BusyPowerMW(cs.c.OPPs[cs.oppIdx], cs.c.Cores, e.clusterUtil(name))
+	}
+	return total
+}
+
+// AppInfo is the observable state of one app — application monitors
+// (frame latency, misses) plus current knob settings.
+type AppInfo struct {
+	Name      string
+	Kind      AppKind
+	Running   bool
+	Placement Placement
+	Level     int
+	PeriodS   float64
+
+	// Profile and ModelBytes echo the app description so planners can
+	// reason about alternative levels and memory footprints.
+	Profile    perf.ModelProfile
+	ModelBytes int64
+	Util       float64 // render/background demand
+
+	Released   int
+	Completed  int
+	Missed     int
+	Dropped    int
+	AvgLatency float64
+	MaxLatency float64
+}
+
+// App returns the observable state of the named app.
+func (e *Engine) App(name string) (AppInfo, error) {
+	a, ok := e.apps[name]
+	if !ok {
+		return AppInfo{}, fmt.Errorf("sim: unknown app %q", name)
+	}
+	return e.appInfo(a), nil
+}
+
+func (e *Engine) appInfo(a *appState) AppInfo {
+	info := AppInfo{
+		Name:       a.Name,
+		Kind:       a.Kind,
+		Running:    a.started && !a.stopped,
+		Placement:  a.placed,
+		Level:      a.level,
+		PeriodS:    a.PeriodS,
+		Profile:    a.Profile,
+		ModelBytes: a.ModelBytes,
+		Util:       a.Util,
+		Released:   a.released,
+		Completed:  a.completed,
+		Missed:     a.missed,
+		Dropped:    a.dropped,
+	}
+	if a.completed > 0 {
+		info.AvgLatency = a.sumLatency / float64(a.completed)
+		info.MaxLatency = a.maxLatency
+	}
+	return info
+}
+
+// Apps returns all apps in deterministic creation order.
+func (e *Engine) Apps() []AppInfo {
+	out := make([]AppInfo, 0, len(e.order))
+	for _, name := range e.order {
+		out = append(out, e.appInfo(e.apps[name]))
+	}
+	return out
+}
+
+// ClusterInfo is the observable state of one cluster.
+type ClusterInfo struct {
+	Name      string
+	Type      hw.CoreType
+	OPPIndex  int
+	FreqGHz   float64
+	Cores     int
+	UsedCores int // CPU clusters: Σ cores of resident apps
+	Util      float64
+	PowerMW   float64
+	EnergyMJ  float64
+	Residents []string
+	MemFree   int64 // accelerator model memory remaining (0 for DRAM clusters)
+}
+
+// Cluster returns the observable state of the named cluster.
+func (e *Engine) Cluster(name string) (ClusterInfo, error) {
+	cs, ok := e.clusters[name]
+	if !ok {
+		return ClusterInfo{}, fmt.Errorf("sim: unknown cluster %q", name)
+	}
+	info := ClusterInfo{
+		Name:     name,
+		Type:     cs.c.Type,
+		OPPIndex: cs.oppIdx,
+		FreqGHz:  cs.c.OPPs[cs.oppIdx].FreqGHz,
+		Cores:    cs.c.Cores,
+		Util:     e.clusterUtil(name),
+		EnergyMJ: cs.energy,
+	}
+	info.PowerMW = cs.c.BusyPowerMW(cs.c.OPPs[cs.oppIdx], cs.c.Cores, info.Util)
+	for _, an := range e.order {
+		a := e.apps[an]
+		if a.started && !a.stopped && a.placed.Cluster == name {
+			info.Residents = append(info.Residents, an)
+			if !cs.c.Type.IsAccelerator() {
+				info.UsedCores += a.placed.Cores
+			}
+		}
+	}
+	if cs.c.MemBytes > 0 {
+		info.MemFree = cs.c.MemBytes - e.acceleratorMemUsed(name, "")
+	}
+	sort.Strings(info.Residents)
+	return info, nil
+}
+
+// acceleratorMemUsed sums the level-scaled model bytes of DNN apps resident
+// on the cluster, excluding `except`.
+func (e *Engine) acceleratorMemUsed(cluster, except string) int64 {
+	var used int64
+	for _, an := range e.order {
+		a := e.apps[an]
+		if an == except || a.stopped || a.placed.Cluster != cluster || a.Kind != KindDNN {
+			continue
+		}
+		used += e.levelBytes(a)
+	}
+	return used
+}
+
+// levelBytes returns the app's resident model size at its current level.
+func (e *Engine) levelBytes(a *appState) int64 {
+	if a.ModelBytes == 0 {
+		return 0
+	}
+	return a.ModelBytes * int64(a.level) / int64(a.Profile.MaxLevel())
+}
+
+// ---- Knobs (actuation) ----
+
+// SetLevel changes a DNN app's model configuration (the application knob).
+// The change is free (a dynamic-DNN pointer bump); it applies to the next
+// frame. On memory-constrained accelerators the new level must fit.
+func (e *Engine) SetLevel(app string, level int) error {
+	a, ok := e.apps[app]
+	if !ok {
+		return fmt.Errorf("sim: unknown app %q", app)
+	}
+	if a.Kind != KindDNN {
+		return fmt.Errorf("sim: app %q is not a DNN", app)
+	}
+	if level < 1 || level > a.Profile.MaxLevel() {
+		return fmt.Errorf("sim: app %q level %d out of range [1,%d]", app, level, a.Profile.MaxLevel())
+	}
+	if level == a.level {
+		return nil
+	}
+	cl := e.plat.Cluster(a.placed.Cluster)
+	if cl.MemBytes > 0 && a.ModelBytes > 0 {
+		newBytes := a.ModelBytes * int64(level) / int64(a.Profile.MaxLevel())
+		if e.acceleratorMemUsed(a.placed.Cluster, app)+newBytes > cl.MemBytes {
+			return fmt.Errorf("sim: level %d of %q does not fit %s memory", level, app, cl.Name)
+		}
+	}
+	a.level = level
+	e.levelSwaps++
+	e.refresh()
+	return nil
+}
+
+// SetOPP changes a cluster's DVFS operating point (a device knob). Every
+// resident app sees the new frequency — the shared-domain coupling.
+func (e *Engine) SetOPP(cluster string, idx int) error {
+	cs, ok := e.clusters[cluster]
+	if !ok {
+		return fmt.Errorf("sim: unknown cluster %q", cluster)
+	}
+	if idx < 0 || idx >= len(cs.c.OPPs) {
+		return fmt.Errorf("sim: OPP index %d out of range for %s", idx, cluster)
+	}
+	if idx == cs.oppIdx {
+		return nil
+	}
+	cs.oppIdx = idx
+	e.oppSwitches++
+	e.refresh()
+	return nil
+}
+
+// Migrate moves an app to a new placement (the task-mapping knob),
+// charging the migration model's downtime during which the app's current
+// job stalls. Capacity and accelerator memory are checked first.
+func (e *Engine) Migrate(app string, to Placement) error {
+	a, ok := e.apps[app]
+	if !ok {
+		return fmt.Errorf("sim: unknown app %q", app)
+	}
+	cl := e.plat.Cluster(to.Cluster)
+	if cl == nil {
+		return fmt.Errorf("sim: unknown cluster %q", to.Cluster)
+	}
+	if cl.Type.IsAccelerator() {
+		to.Cores = cl.Cores
+	} else if to.Cores < 1 || to.Cores > cl.Cores {
+		return fmt.Errorf("sim: core count %d out of range for %s", to.Cores, to.Cluster)
+	}
+	if a.placed == to {
+		return nil
+	}
+	// CPU capacity check.
+	if !cl.Type.IsAccelerator() {
+		used := 0
+		for _, an := range e.order {
+			o := e.apps[an]
+			if an != app && o.started && !o.stopped && o.placed.Cluster == to.Cluster {
+				used += o.placed.Cores
+			}
+		}
+		if used+to.Cores > cl.Cores {
+			return fmt.Errorf("sim: %s has %d/%d cores used; cannot fit %d more",
+				to.Cluster, used, cl.Cores, to.Cores)
+		}
+	}
+	// Accelerator memory check.
+	if cl.MemBytes > 0 && a.Kind == KindDNN && a.ModelBytes > 0 {
+		if e.acceleratorMemUsed(to.Cluster, app)+e.levelBytes(a) > cl.MemBytes {
+			return fmt.Errorf("sim: model of %q does not fit %s memory", app, to.Cluster)
+		}
+	}
+	from := a.placed
+	a.placed = to
+	if a.Kind == KindDNN {
+		a.blockedUntil = e.now + e.mig.Downtime(e.levelBytes(a))
+	}
+	e.migrations++
+	if e.logEvents {
+		e.eventLog = append(e.eventLog, Event{TimeS: e.now, Kind: EvMigrated, App: app,
+			Note: fmt.Sprintf("%s -> %s/%d", from.Cluster, to.Cluster, to.Cores)})
+	}
+	e.refresh()
+	return nil
+}
+
+// ---- Results ----
+
+// ClusterReport is the per-cluster summary after Run.
+type ClusterReport struct {
+	Name     string
+	EnergyMJ float64
+	BusyS    float64
+}
+
+// Report is the overall simulation outcome.
+type Report struct {
+	DurationS     float64
+	TotalEnergyMJ float64
+	AvgPowerMW    float64
+	MaxTempC      float64
+	OverThrottleS float64
+	OverCriticalS float64
+	Migrations    int
+	LevelSwaps    int
+	OPPSwitches   int
+	Apps          []AppInfo
+	Clusters      []ClusterReport
+	Events        []Event // only when LogEvents was set
+}
+
+// Report summarises the run so far.
+func (e *Engine) Report() Report {
+	r := Report{
+		DurationS:     e.now,
+		TotalEnergyMJ: e.totalEnergy,
+		MaxTempC:      e.maxTempC,
+		OverThrottleS: e.overThrotS,
+		OverCriticalS: e.overCritS,
+		Migrations:    e.migrations,
+		LevelSwaps:    e.levelSwaps,
+		OPPSwitches:   e.oppSwitches,
+		Apps:          e.Apps(),
+		Events:        e.eventLog,
+	}
+	if e.now > 0 {
+		r.AvgPowerMW = e.totalEnergy / e.now
+	}
+	for _, name := range e.clusterOrder() {
+		cs := e.clusters[name]
+		r.Clusters = append(r.Clusters, ClusterReport{Name: name, EnergyMJ: cs.energy, BusyS: cs.busyS})
+	}
+	return r
+}

@@ -1,0 +1,418 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// hKind enumerates internal scheduler events (a superset of the observable
+// Event kinds).
+type hKind int
+
+const (
+	hStart hKind = iota
+	hStop
+	hRelease
+	hComplete
+	hUnblock
+	hTick
+	hThermal
+)
+
+type hevent struct {
+	t    float64
+	seq  int64
+	kind hKind
+	app  string
+}
+
+type eventHeap []hevent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(hevent)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+func (e *Engine) push(t float64, kind hKind, app string) int64 {
+	e.seq++
+	heap.Push(&e.events, hevent{t: t, seq: e.seq, kind: kind, app: app})
+	return e.seq
+}
+
+// Run executes the simulation until endS seconds. It may be called once.
+func (e *Engine) Run(endS float64) error {
+	if endS <= 0 {
+		return fmt.Errorf("sim: end time %f must be positive", endS)
+	}
+	e.endS = endS
+	for _, name := range e.order {
+		a := e.apps[name]
+		e.push(a.StartS, hStart, name)
+		if a.StopS > 0 {
+			e.push(a.StopS, hStop, name)
+		}
+	}
+	if e.tickS > 0 && e.ctrl != nil {
+		e.push(e.tickS, hTick, "")
+	}
+	e.rescheduleThermal()
+
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(hevent)
+		if ev.t > endS {
+			break
+		}
+		e.advanceTo(ev.t)
+		e.handle(ev)
+		e.refresh()
+	}
+	e.advanceTo(endS)
+	return nil
+}
+
+// advanceTo integrates the piecewise-constant segment [now, t]: job
+// progress, per-cluster energy, and the thermal state.
+func (e *Engine) advanceTo(t float64) {
+	dt := t - e.now
+	if dt <= 0 {
+		e.now = t
+		return
+	}
+	totalMW := 0.0
+	for _, name := range e.clusterOrder() {
+		cs := e.clusters[name]
+		util := e.clusterUtil(cs.c.Name)
+		pw := cs.c.BusyPowerMW(cs.c.OPPs[cs.oppIdx], cs.c.Cores, util)
+		cs.lastPow = pw
+		cs.energy += pw * dt
+		if util > 0 {
+			cs.busyS += dt
+		}
+		totalMW += pw
+	}
+	e.totalEnergy += totalMW * dt
+
+	// Job progress.
+	for _, name := range e.order {
+		a := e.apps[name]
+		if a.Kind != KindDNN || !a.jobActive {
+			continue
+		}
+		rate := e.jobRate(a)
+		if rate > 0 && e.now >= a.blockedUntil {
+			a.jobRemaining -= rate * dt
+			if a.jobRemaining < 0 {
+				a.jobRemaining = 0
+			}
+		}
+	}
+
+	// Thermal integration (exact within the segment).
+	tempBefore := e.thermal.TempC
+	e.thermal.Step(e.plat.Thermal, e.ambient, totalMW/1000, dt)
+	tempAfter := e.thermal.TempC
+	if tempAfter > e.maxTempC {
+		e.maxTempC = tempAfter
+	}
+	mid := (tempBefore + tempAfter) / 2
+	if mid > e.plat.Thermal.ThrottleC {
+		e.overThrotS += dt
+	}
+	if mid > e.plat.Thermal.CriticalC {
+		e.overCritS += dt
+	}
+	if e.alarmed && tempAfter < e.plat.Thermal.ThrottleC-2 {
+		e.alarmed = false
+	}
+	e.now = t
+}
+
+func (e *Engine) clusterOrder() []string {
+	names := make([]string, 0, len(e.clusters))
+	for _, c := range e.plat.Clusters {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+// clusterUtil computes the aggregate dynamic-power utilisation fraction of
+// a cluster in [0,1]: resident DNN jobs run their cores flat out, render
+// and background apps contribute their configured utilisation, and
+// accelerator inference induces CompanionUtil on the companion cluster.
+func (e *Engine) clusterUtil(name string) float64 {
+	cs := e.clusters[name]
+	util := 0.0
+	for _, an := range e.order {
+		a := e.apps[an]
+		if !a.started || a.stopped || a.placed.Cluster != name {
+			continue
+		}
+		switch a.Kind {
+		case KindDNN:
+			if a.jobActive && e.now >= a.blockedUntil {
+				if cs.c.Type.IsAccelerator() {
+					util += e.acceleratorDNNShare(name)
+				} else {
+					util += float64(a.placed.Cores) / float64(cs.c.Cores)
+				}
+			}
+		case KindRender, KindBackground:
+			if cs.c.Type.IsAccelerator() {
+				util += a.Util
+			} else {
+				util += float64(a.placed.Cores) / float64(cs.c.Cores) * a.Util
+			}
+		}
+	}
+	// Companion load induced by accelerators hosting active DNN jobs.
+	for _, cl := range e.plat.Clusters {
+		if cl.CompanionName != name || cl.CompanionUtil == 0 {
+			continue
+		}
+		if e.anyActiveDNN(cl.Name) {
+			util += cl.CompanionUtil
+		}
+	}
+	if util > 1 {
+		util = 1
+	}
+	return util
+}
+
+// acceleratorDNNShare returns the fraction of the accelerator each active
+// DNN job uses: active jobs share whatever render apps leave.
+func (e *Engine) acceleratorDNNShare(cluster string) float64 {
+	renderUtil := 0.0
+	active := 0
+	for _, an := range e.order {
+		a := e.apps[an]
+		if !a.started || a.stopped || a.placed.Cluster != cluster {
+			continue
+		}
+		switch a.Kind {
+		case KindRender, KindBackground:
+			renderUtil += a.Util
+		case KindDNN:
+			if a.jobActive && e.now >= a.blockedUntil {
+				active++
+			}
+		}
+	}
+	if active == 0 {
+		return 0
+	}
+	free := 1 - renderUtil
+	if free < 0 {
+		free = 0
+	}
+	return free / float64(active)
+}
+
+func (e *Engine) anyActiveDNN(cluster string) bool {
+	for _, an := range e.order {
+		a := e.apps[an]
+		if a.started && !a.stopped && a.placed.Cluster == cluster &&
+			a.Kind == KindDNN && a.jobActive && e.now >= a.blockedUntil {
+			return true
+		}
+	}
+	return false
+}
+
+// jobRate returns the MAC/s processing rate of an app's current job.
+func (e *Engine) jobRate(a *appState) float64 {
+	if e.now < a.blockedUntil {
+		return 0
+	}
+	cs := e.clusters[a.placed.Cluster]
+	opp := cs.c.OPPs[cs.oppIdx]
+	if cs.c.Type.IsAccelerator() {
+		return cs.c.EffectiveRate(opp, cs.c.Cores) * e.acceleratorDNNShare(a.placed.Cluster)
+	}
+	return cs.c.EffectiveRate(opp, a.placed.Cores)
+}
+
+// handle processes one scheduler event (state is already advanced to its
+// time).
+func (e *Engine) handle(ev hevent) {
+	switch ev.kind {
+	case hStart:
+		a := e.apps[ev.app]
+		a.started = true
+		e.emit(Event{TimeS: e.now, Kind: EvAppStart, App: ev.app})
+		if a.Kind == KindDNN {
+			e.release(a)
+		}
+	case hStop:
+		a := e.apps[ev.app]
+		a.stopped = true
+		a.jobActive = false
+		e.emit(Event{TimeS: e.now, Kind: EvAppStop, App: ev.app})
+	case hRelease:
+		a := e.apps[ev.app]
+		if a.started && !a.stopped {
+			e.release(a)
+		}
+	case hComplete:
+		a := e.apps[ev.app]
+		if a.jobActive && ev.seq == a.completionSeq {
+			// Complete when less than a nanosecond of work remains; the
+			// residue is floating-point error from time subtraction, which
+			// grows with the simulation clock. If genuinely early (a rate
+			// drop moved the estimate), clear the seq so refresh reschedules
+			// — the skip-guard must not suppress it.
+			if rate := e.jobRate(a); rate > 0 && a.jobRemaining <= rate*1e-9 {
+				e.complete(a)
+			} else {
+				a.completionSeq = 0
+			}
+		}
+	case hUnblock:
+		// No state change needed: rates recompute in refresh().
+	case hTick:
+		if e.ctrl != nil {
+			e.ctrl.OnTick(e)
+			if next := e.now + e.tickS; next <= e.endS {
+				e.push(next, hTick, "")
+			}
+		}
+	case hThermal:
+		if ev.seq == e.thermalEvSeq {
+			e.thermalEvSeq = 0 // consumed; refresh may schedule a successor
+			if !e.alarmed && e.thermal.TempC >= e.plat.Thermal.ThrottleC-0.05 {
+				e.alarmed = true
+				e.emit(Event{TimeS: e.now, Kind: EvThermalAlarm,
+					Note: fmt.Sprintf("%.1fC", e.thermal.TempC)})
+			}
+		}
+	}
+}
+
+// release starts a new job (or drops the frame if one is running) and
+// schedules the next release.
+func (e *Engine) release(a *appState) {
+	a.released++
+	if a.jobActive {
+		a.dropped++
+		e.emit(Event{TimeS: e.now, Kind: EvFrameDrop, App: a.Name})
+	} else {
+		a.jobActive = true
+		a.jobReleaseS = e.now
+		a.jobRemaining = float64(a.Profile.Level(a.level).MACs)
+		// Charge the per-inference fixed overhead (pre/post-processing) as
+		// work at the current rate, matching perf.InferenceLatencyS.
+		if rate := e.jobRate(a); rate > 0 {
+			a.jobRemaining += e.plat.Cluster(a.placed.Cluster).FixedOverheadS * rate
+		}
+	}
+	next := e.now + a.PeriodS
+	if (a.StopS == 0 || next < a.StopS) && next <= e.endS {
+		e.push(next, hRelease, a.Name)
+	}
+}
+
+func (e *Engine) complete(a *appState) {
+	latency := e.now - a.jobReleaseS
+	a.jobActive = false
+	a.completed++
+	a.sumLatency += latency
+	if latency > a.maxLatency {
+		a.maxLatency = latency
+	}
+	if latency > a.PeriodS+1e-9 {
+		a.missed++
+		e.emit(Event{TimeS: e.now, Kind: EvDeadlineMiss, App: a.Name,
+			Note: fmt.Sprintf("latency %.1fms > %.1fms", latency*1000, a.PeriodS*1000)})
+	} else {
+		e.emit(Event{TimeS: e.now, Kind: EvJobComplete, App: a.Name})
+	}
+}
+
+// emit records an event and forwards it to the controller.
+func (e *Engine) emit(ev Event) {
+	if e.logEvents {
+		e.eventLog = append(e.eventLog, ev)
+	}
+	if e.ctrl != nil {
+		e.ctrl.OnEvent(e, ev)
+	}
+}
+
+// refresh recomputes all pending completion events and the thermal alarm
+// after any state change. An event is only (re)scheduled when its estimate
+// actually moved: unconditional rescheduling would invalidate the event
+// just popped on every iteration and the heap would never drain.
+func (e *Engine) refresh() {
+	for _, name := range e.order {
+		a := e.apps[name]
+		if a.Kind != KindDNN || !a.jobActive || a.stopped {
+			a.completionSeq = 0
+			continue
+		}
+		if e.now < a.blockedUntil {
+			if a.completionSeq == 0 || a.completionEst != a.blockedUntil {
+				a.completionEst = a.blockedUntil
+				a.completionSeq = e.push(a.blockedUntil, hUnblock, a.Name)
+			}
+			continue
+		}
+		rate := e.jobRate(a)
+		if rate <= 0 {
+			continue // stalled: a future state change will reschedule
+		}
+		est := e.now + a.jobRemaining/rate
+		if a.completionSeq != 0 && math.Abs(est-a.completionEst) < 1e-9 {
+			continue // pending event still accurate
+		}
+		a.completionEst = est
+		a.completionSeq = e.push(est, hComplete, a.Name)
+	}
+	e.rescheduleThermal()
+}
+
+// rescheduleThermal predicts the next upward throttle crossing under the
+// current (constant) power and schedules an alarm at the exact crossing
+// time from the RC model's closed form.
+func (e *Engine) rescheduleThermal() {
+	if e.alarmed {
+		return
+	}
+	totalW := e.TotalPowerMW() / 1000
+	th := e.plat.Thermal
+	target := th.SteadyStateC(e.ambient, totalW)
+	cur := e.thermal.TempC
+	if target <= th.ThrottleC || cur >= th.ThrottleC {
+		if cur >= th.ThrottleC && !e.alarmed && e.thermalEvSeq == 0 {
+			// Already above: alarm immediately.
+			e.thermalEst = e.now
+			e.thermalEvSeq = e.push(e.now, hThermal, "")
+		}
+		return
+	}
+	tau := th.RthKPerW * th.CthJPerK
+	frac := (target - cur) / (target - th.ThrottleC)
+	if frac <= 1 {
+		return
+	}
+	tc := tau * math.Log(frac)
+	// Floor the crossing delay: as cur approaches the trip point, tc → 0
+	// and floating-point error could otherwise schedule a cascade of
+	// zero-advance alarms (a Zeno loop). 1 ms resolution is far below any
+	// thermal time constant of interest.
+	if tc < 1e-3 {
+		tc = 1e-3
+	}
+	est := e.now + tc
+	if e.thermalEvSeq != 0 && math.Abs(est-e.thermalEst) < 1e-3 {
+		return // pending alarm still accurate
+	}
+	e.thermalEst = est
+	e.thermalEvSeq = e.push(est, hThermal, "")
+}

@@ -1,0 +1,307 @@
+// Package sim is a discrete-event simulator for DNN and non-DNN workloads
+// executing on a heterogeneous multi-core platform (hw.Platform). It models
+// what the paper's runtime scenario (Fig 2) needs:
+//
+//   - periodic DNN inference apps with frame deadlines, placed on CPU
+//     clusters (with a core count) or accelerators;
+//   - GPU render apps and CPU background apps that occupy resources and
+//     draw power;
+//   - per-cluster DVFS (one OPP per voltage/frequency domain — co-resident
+//     apps share the frequency, the paper's "same voltage/frequency
+//     domain" coupling);
+//   - accelerator contention (resident DNN jobs share the accelerator's
+//     throughput) and NPU model-memory capacity (the Fig 2(d) constraint);
+//   - energy accounting per cluster and lumped RC thermal integration with
+//     throttle-crossing alarms;
+//   - migration with a load-time cost, and runtime model-level switching;
+//   - a Controller hook (the RTM) invoked on a fixed epoch and on events.
+//
+// Between events all rates and powers are constant, so job progress,
+// energy and temperature are integrated exactly — results do not depend on
+// a time-step size.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/emlrtm/emlrtm/internal/hw"
+	"github.com/emlrtm/emlrtm/internal/perf"
+)
+
+// AppKind classifies workloads.
+type AppKind int
+
+// Workload kinds of the Fig 2 scenario.
+const (
+	KindDNN        AppKind = iota // periodic inference with deadlines
+	KindRender                    // continuous GPU load (AR/VR)
+	KindBackground                // continuous CPU load
+)
+
+func (k AppKind) String() string {
+	switch k {
+	case KindDNN:
+		return "dnn"
+	case KindRender:
+		return "render"
+	case KindBackground:
+		return "background"
+	}
+	return "unknown"
+}
+
+// App describes a workload to simulate.
+type App struct {
+	Name string
+	Kind AppKind
+
+	// DNN apps.
+	Profile    perf.ModelProfile // per-level MACs/accuracy/memory
+	Level      int               // initial model level
+	PeriodS    float64           // frame period (deadline = period)
+	ModelBytes int64             // resident size of the FULL model (level scales it)
+
+	// Render/Background apps.
+	Util float64 // fraction of the cluster the app occupies (0..1]
+
+	// Lifetime.
+	StartS float64
+	StopS  float64 // 0 = runs to the end of simulation
+
+	// Initial placement.
+	Placement Placement
+}
+
+// Placement binds an app to a cluster and, for CPU clusters, a core count.
+type Placement struct {
+	Cluster string
+	Cores   int // ignored for accelerators (always the whole device)
+}
+
+// EventKind enumerates observable simulator events.
+type EventKind int
+
+// Simulator event kinds delivered to the Controller.
+const (
+	EvAppStart EventKind = iota
+	EvAppStop
+	EvJobComplete
+	EvDeadlineMiss // job finished after its deadline
+	EvFrameDrop    // release arrived while previous job still running
+	EvThermalAlarm // temperature crossed the throttle threshold upward
+	EvMigrated
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvAppStart:
+		return "app-start"
+	case EvAppStop:
+		return "app-stop"
+	case EvJobComplete:
+		return "job-complete"
+	case EvDeadlineMiss:
+		return "deadline-miss"
+	case EvFrameDrop:
+		return "frame-drop"
+	case EvThermalAlarm:
+		return "thermal-alarm"
+	case EvMigrated:
+		return "migrated"
+	}
+	return "unknown"
+}
+
+// Event is delivered to the Controller's OnEvent hook.
+type Event struct {
+	TimeS float64
+	Kind  EventKind
+	App   string
+	Note  string
+}
+
+// Controller is the runtime-manager hook (Fig 5's RTM layer). OnTick fires
+// every TickS seconds; OnEvent fires for each Event. Both may call the
+// Engine's actuation methods (SetLevel, Migrate, SetOPP, ...).
+type Controller interface {
+	OnTick(e *Engine)
+	OnEvent(e *Engine, ev Event)
+}
+
+// MigrationModel prices app migration between clusters.
+type MigrationModel struct {
+	// BandwidthBps is the model reload bandwidth (bytes/s).
+	BandwidthBps float64
+	// FixedS is a fixed re-init latency per migration.
+	FixedS float64
+}
+
+// DefaultMigrationModel mirrors dyndnn's switch-cost constants.
+func DefaultMigrationModel() MigrationModel {
+	return MigrationModel{BandwidthBps: 200e6, FixedS: 0.050}
+}
+
+// Downtime returns the migration downtime for a model of the given size.
+func (m MigrationModel) Downtime(bytes int64) float64 {
+	if m.BandwidthBps <= 0 {
+		return m.FixedS
+	}
+	return m.FixedS + float64(bytes)/m.BandwidthBps
+}
+
+// appState is the live state of one app.
+type appState struct {
+	App
+	placed  Placement
+	level   int
+	started bool
+	stopped bool
+
+	// Current job (DNN apps).
+	jobActive     bool
+	jobReleaseS   float64
+	jobRemaining  float64 // MACs
+	completionSeq int64   // seq of the currently valid completion event
+	completionEst float64 // scheduled completion time of that event
+
+	blockedUntil float64 // migration downtime
+
+	// Stats.
+	released   int
+	completed  int
+	missed     int
+	dropped    int
+	sumLatency float64
+	maxLatency float64
+}
+
+// clusterState tracks per-cluster dynamics.
+type clusterState struct {
+	c       *hw.Cluster
+	oppIdx  int
+	energy  float64 // mJ
+	busyS   float64 // seconds with any activity
+	lastPow float64 // mW, for observability
+}
+
+// Engine runs the simulation.
+type Engine struct {
+	plat     *hw.Platform
+	apps     map[string]*appState
+	order    []string // deterministic app iteration order
+	clusters map[string]*clusterState
+	thermal  *hw.ThermalState
+	ambient  float64 // current ambient °C (scenario-controllable)
+	mig      MigrationModel
+
+	ctrl  Controller
+	tickS float64
+
+	now          float64
+	endS         float64
+	events       eventHeap
+	seq          int64
+	thermalEvSeq int64   // seq of the currently valid thermal alarm event
+	thermalEst   float64 // scheduled time of that alarm
+	alarmed      bool    // throttle alarm latched until temperature drops below
+
+	maxTempC    float64
+	overThrotS  float64 // time spent above throttle
+	overCritS   float64 // time spent above critical
+	eventLog    []Event
+	logEvents   bool
+	totalEnergy float64
+	migrations  int
+	levelSwaps  int
+	oppSwitches int
+}
+
+// Config configures an Engine.
+type Config struct {
+	Platform   *hw.Platform
+	Apps       []App
+	Controller Controller // may be nil (uncontrolled baseline)
+	TickS      float64    // controller epoch; 0 disables ticks
+	Migration  MigrationModel
+	LogEvents  bool // retain the full event log (tests, reports)
+}
+
+// New validates the config and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("sim: nil platform")
+	}
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		plat:      cfg.Platform,
+		apps:      map[string]*appState{},
+		clusters:  map[string]*clusterState{},
+		thermal:   hw.NewThermalState(cfg.Platform.AmbientC),
+		ambient:   cfg.Platform.AmbientC,
+		mig:       cfg.Migration,
+		ctrl:      cfg.Controller,
+		tickS:     cfg.TickS,
+		logEvents: cfg.LogEvents,
+	}
+	if e.mig.BandwidthBps == 0 && e.mig.FixedS == 0 {
+		e.mig = DefaultMigrationModel()
+	}
+	for _, c := range cfg.Platform.Clusters {
+		e.clusters[c.Name] = &clusterState{c: c, oppIdx: 0}
+	}
+	for _, a := range cfg.Apps {
+		if err := e.validateApp(a); err != nil {
+			return nil, err
+		}
+		// Accelerators are always allocated whole; normalising here keeps
+		// planner-computed placements comparable with initial ones.
+		if cl := cfg.Platform.Cluster(a.Placement.Cluster); cl.Type.IsAccelerator() {
+			a.Placement.Cores = cl.Cores
+		}
+		st := &appState{App: a, placed: a.Placement, level: a.Level}
+		e.apps[a.Name] = st
+		e.order = append(e.order, a.Name)
+	}
+	e.maxTempC = cfg.Platform.AmbientC
+	return e, nil
+}
+
+func (e *Engine) validateApp(a App) error {
+	if a.Name == "" {
+		return fmt.Errorf("sim: app with empty name")
+	}
+	if _, dup := e.apps[a.Name]; dup {
+		return fmt.Errorf("sim: duplicate app %q", a.Name)
+	}
+	cl := e.plat.Cluster(a.Placement.Cluster)
+	if cl == nil {
+		return fmt.Errorf("sim: app %q placed on unknown cluster %q", a.Name, a.Placement.Cluster)
+	}
+	switch a.Kind {
+	case KindDNN:
+		if err := a.Profile.Validate(); err != nil {
+			return fmt.Errorf("sim: app %q: %w", a.Name, err)
+		}
+		if a.Level < 1 || a.Level > a.Profile.MaxLevel() {
+			return fmt.Errorf("sim: app %q level %d out of range", a.Name, a.Level)
+		}
+		if a.PeriodS <= 0 {
+			return fmt.Errorf("sim: app %q period %f", a.Name, a.PeriodS)
+		}
+	case KindRender, KindBackground:
+		if a.Util <= 0 || a.Util > 1 {
+			return fmt.Errorf("sim: app %q util %f outside (0,1]", a.Name, a.Util)
+		}
+	default:
+		return fmt.Errorf("sim: app %q unknown kind", a.Name)
+	}
+	if !cl.Type.IsAccelerator() && a.Placement.Cores < 1 {
+		return fmt.Errorf("sim: app %q needs >= 1 core on CPU cluster", a.Name)
+	}
+	if a.StopS != 0 && a.StopS <= a.StartS {
+		return fmt.Errorf("sim: app %q stop %f <= start %f", a.Name, a.StopS, a.StartS)
+	}
+	return nil
+}

@@ -1,0 +1,324 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndLen(t *testing.T) {
+	x := New(2, 3, 4)
+	if x.Rank() != 3 {
+		t.Fatalf("rank = %d, want 3", x.Rank())
+	}
+	if x.Len() != 24 {
+		t.Fatalf("len = %d, want 24", x.Len())
+	}
+	if x.Dim(0) != 2 || x.Dim(1) != 3 || x.Dim(2) != 4 {
+		t.Fatalf("dims = %v, want [2 3 4]", x.Shape())
+	}
+	for _, v := range x.Data() {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive dimension")
+		}
+	}()
+	New(2, 0)
+}
+
+func TestFromSliceSharesData(t *testing.T) {
+	d := []float32{1, 2, 3, 4}
+	x := FromSlice(d, 2, 2)
+	x.Set(9, 1, 1)
+	if d[3] != 9 {
+		t.Fatal("FromSlice must wrap, not copy")
+	}
+}
+
+func TestFromSlicePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for length mismatch")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	x := New(3, 4)
+	x.Set(7.5, 2, 1)
+	if got := x.At(2, 1); got != 7.5 {
+		t.Fatalf("At = %v, want 7.5", got)
+	}
+	// Row-major layout: (2,1) is offset 2*4+1 = 9.
+	if x.Data()[9] != 7.5 {
+		t.Fatal("row-major layout violated")
+	}
+}
+
+func TestIndexPanicsOutOfRange(t *testing.T) {
+	x := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	x.At(2, 0)
+}
+
+func TestReshapeIsView(t *testing.T) {
+	x := New(2, 6)
+	y := x.Reshape(3, 4)
+	y.Set(5, 2, 3)
+	if x.At(1, 5) != 5 {
+		t.Fatal("Reshape must alias the same data")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	x := Full(1, 2, 2)
+	y := x.Clone()
+	y.Set(9, 0, 0)
+	if x.At(0, 0) != 1 {
+		t.Fatal("Clone must copy data")
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	r := NewRNG(1)
+	x := New(4, 5)
+	x.FillNormal(r, 0, 1)
+	orig := x.Clone()
+	o := New(4, 5)
+	o.FillNormal(r, 0, 1)
+	x.Add(o).Sub(o)
+	if !x.AllClose(orig, 1e-5) {
+		t.Fatal("x+o-o should equal x")
+	}
+}
+
+func TestScaleAddScaled(t *testing.T) {
+	x := Full(2, 3)
+	x.Scale(0.5)
+	for _, v := range x.Data() {
+		if v != 1 {
+			t.Fatalf("Scale: got %v, want 1", v)
+		}
+	}
+	y := Full(1, 3)
+	x.AddScaled(3, y)
+	for _, v := range x.Data() {
+		if v != 4 {
+			t.Fatalf("AddScaled: got %v, want 4", v)
+		}
+	}
+}
+
+func TestMatMulKnownValues(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data()[i] != w {
+			t.Fatalf("MatMul[%d] = %v, want %v", i, c.Data()[i], w)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	r := NewRNG(2)
+	a := New(4, 4)
+	a.FillNormal(r, 0, 1)
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(1, i, i)
+	}
+	c := MatMul(a, id)
+	if !c.AllClose(a, 1e-6) {
+		t.Fatal("A·I must equal A")
+	}
+}
+
+func TestMatMulIntoMatchesMatMul(t *testing.T) {
+	r := NewRNG(3)
+	a := New(5, 7)
+	b := New(7, 3)
+	a.FillNormal(r, 0, 1)
+	b.FillNormal(r, 0, 1)
+	want := MatMul(a, b)
+	got := Full(99, 5, 3) // pre-filled garbage must be overwritten
+	MatMulInto(got, a, b)
+	if !got.AllClose(want, 1e-5) {
+		t.Fatal("MatMulInto disagrees with MatMul")
+	}
+}
+
+func TestMatMulATBMatchesExplicitTranspose(t *testing.T) {
+	r := NewRNG(4)
+	a := New(6, 4)
+	b := New(6, 5)
+	a.FillNormal(r, 0, 1)
+	b.FillNormal(r, 0, 1)
+	want := MatMul(a.Transpose(), b)
+	got := MatMulATB(a, b)
+	if !got.AllClose(want, 1e-4) {
+		t.Fatal("MatMulATB disagrees with explicit transpose")
+	}
+}
+
+func TestMatMulABTMatchesExplicitTranspose(t *testing.T) {
+	r := NewRNG(5)
+	a := New(6, 4)
+	b := New(5, 4)
+	a.FillNormal(r, 0, 1)
+	b.FillNormal(r, 0, 1)
+	want := MatMul(a, b.Transpose())
+	got := MatMulABT(a, b)
+	if !got.AllClose(want, 1e-4) {
+		t.Fatal("MatMulABT disagrees with explicit transpose")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	r := NewRNG(6)
+	a := New(3, 7)
+	a.FillNormal(r, 0, 1)
+	if !a.Transpose().Transpose().AllClose(a, 0) {
+		t.Fatal("transpose twice must be identity")
+	}
+}
+
+func TestSoftmaxRowsSumsToOne(t *testing.T) {
+	r := NewRNG(7)
+	x := New(8, 10)
+	x.FillNormal(r, 0, 5)
+	x.SoftmaxRows()
+	for i := 0; i < 8; i++ {
+		var s float64
+		for j := 0; j < 10; j++ {
+			v := x.At(i, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("softmax value %v out of [0,1]", v)
+			}
+			s += float64(v)
+		}
+		if math.Abs(s-1) > 1e-5 {
+			t.Fatalf("row %d sums to %v, want 1", i, s)
+		}
+	}
+}
+
+func TestSoftmaxNumericalStability(t *testing.T) {
+	x := FromSlice([]float32{1000, 1001, 999}, 1, 3)
+	x.SoftmaxRows()
+	for _, v := range x.Data() {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("softmax overflowed on large logits")
+		}
+	}
+}
+
+func TestArgMaxRow(t *testing.T) {
+	x := FromSlice([]float32{0, 5, 1, 9, 2, 3}, 2, 3)
+	got := x.ArgMaxRow()
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("ArgMaxRow = %v, want [1 0]", got)
+	}
+}
+
+func TestSumMeanMax(t *testing.T) {
+	x := FromSlice([]float32{1, -2, 3, 4}, 2, 2)
+	if x.Sum() != 6 {
+		t.Fatalf("Sum = %v, want 6", x.Sum())
+	}
+	if x.Mean() != 1.5 {
+		t.Fatalf("Mean = %v, want 1.5", x.Mean())
+	}
+	v, i := x.Max()
+	if v != 4 || i != 3 {
+		t.Fatalf("Max = (%v,%d), want (4,3)", v, i)
+	}
+	if x.AbsMax() != 4 {
+		t.Fatalf("AbsMax = %v, want 4", x.AbsMax())
+	}
+}
+
+func TestSlice4D(t *testing.T) {
+	x := New(4, 2, 3, 3)
+	for i := range x.Data() {
+		x.Data()[i] = float32(i)
+	}
+	y := x.Slice4D(1, 3)
+	if y.Dim(0) != 2 {
+		t.Fatalf("sliced batch = %d, want 2", y.Dim(0))
+	}
+	if y.At(0, 0, 0, 0) != x.At(1, 0, 0, 0) {
+		t.Fatal("Slice4D must start at batch b0")
+	}
+	// Copies, not views.
+	y.Set(-1, 0, 0, 0, 0)
+	if x.At(1, 0, 0, 0) == -1 {
+		t.Fatal("Slice4D must copy")
+	}
+}
+
+// Property: matmul distributes over addition: A(B+C) = AB + AC.
+func TestMatMulDistributesOverAdd(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		m, k, n := 2+r.Intn(4), 2+r.Intn(4), 2+r.Intn(4)
+		a, b, c := New(m, k), New(k, n), New(k, n)
+		a.FillNormal(r, 0, 1)
+		b.FillNormal(r, 0, 1)
+		c.FillNormal(r, 0, 1)
+		left := MatMul(a, b.Clone().Add(c))
+		right := MatMul(a, b).Add(MatMul(a, c))
+		return left.AllClose(right, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling commutes with matmul: (sA)B = s(AB).
+func TestMatMulScaleCommutes(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		m, k, n := 2+r.Intn(3), 2+r.Intn(3), 2+r.Intn(3)
+		s := float32(r.Float64()*4 - 2)
+		a, b := New(m, k), New(k, n)
+		a.FillNormal(r, 0, 1)
+		b.FillNormal(r, 0, 1)
+		left := MatMul(a.Clone().Scale(s), b)
+		right := MatMul(a, b).Scale(s)
+		return left.AllClose(right, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ.
+func TestMatMulTransposeIdentity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		m, k, n := 2+r.Intn(3), 2+r.Intn(3), 2+r.Intn(3)
+		a, b := New(m, k), New(k, n)
+		a.FillNormal(r, 0, 1)
+		b.FillNormal(r, 0, 1)
+		left := MatMul(a, b).Transpose()
+		right := MatMul(b.Transpose(), a.Transpose())
+		return left.AllClose(right, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,205 @@
+// Package workload builds the workload mixes of the paper's scenarios:
+// DNN inference streams with frame-rate requirements, AR/VR render load,
+// background tasks, and the scripted Fig 2 timeline with its runtime
+// disturbances (app arrivals, an environmental thermal event, a
+// requirement change).
+package workload
+
+import (
+	"sort"
+
+	"github.com/emlrtm/emlrtm/internal/hw"
+	"github.com/emlrtm/emlrtm/internal/perf"
+	"github.com/emlrtm/emlrtm/internal/rtm"
+	"github.com/emlrtm/emlrtm/internal/sim"
+)
+
+// MobileProfile is a mobile-vision-class dynamic DNN: 7 MMACs and 7 MiB of
+// parameters at the 100% configuration, with the paper's Fig 4(b)
+// accuracies. It is deliberately heavier than the Table I calibration
+// workload so that the flagship SoC's GPU and CPU clusters — not just the
+// NPU — face real trade-offs, which is the premise of Fig 2.
+func MobileProfile() perf.ModelProfile {
+	return perf.UniformProfile("dnn-mobile", 7_000_000, 7<<20,
+		perf.PaperAccuracies, []float64{0.61, 0.68, 0.74, 0.78})
+}
+
+// Action is one scripted scenario step.
+type Action struct {
+	AtS  float64
+	Name string
+	Do   func(e *sim.Engine, m *rtm.Manager)
+}
+
+// Scenario bundles everything a scripted run needs.
+type Scenario struct {
+	Name    string
+	Apps    []sim.App
+	Reqs    map[string]rtm.Requirement
+	Actions []Action
+	EndS    float64
+}
+
+// ScenarioController wraps a manager, applying scripted actions at their
+// times (quantised to the controller tick) before delegating to the
+// manager — disturbances arrive "from outside" exactly as in Fig 2.
+type ScenarioController struct {
+	Mgr     *rtm.Manager
+	Actions []Action
+	applied int
+}
+
+// NewScenarioController sorts the actions by time and wires the manager.
+func NewScenarioController(m *rtm.Manager, actions []Action) *ScenarioController {
+	sorted := append([]Action(nil), actions...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].AtS < sorted[j].AtS })
+	return &ScenarioController{Mgr: m, Actions: sorted}
+}
+
+// OnTick implements sim.Controller.
+func (c *ScenarioController) OnTick(e *sim.Engine) {
+	for c.applied < len(c.Actions) && c.Actions[c.applied].AtS <= e.Now() {
+		a := c.Actions[c.applied]
+		c.applied++
+		a.Do(e, c.Mgr)
+	}
+	if c.Mgr != nil {
+		c.Mgr.OnTick(e)
+	}
+}
+
+// OnEvent implements sim.Controller.
+func (c *ScenarioController) OnEvent(e *sim.Engine, ev sim.Event) {
+	if c.Mgr != nil {
+		c.Mgr.OnEvent(e, ev)
+	}
+}
+
+var _ sim.Controller = (*ScenarioController)(nil)
+
+// Fig2Scenario reproduces the paper's runtime timeline (Fig 2) on the
+// flagship SoC:
+//
+//	t=0   DNN1 (25 fps, min accuracy 0.70) starts; expected on the NPU at
+//	      the 100% configuration with the companion CPU pre-processing.
+//	t=5   DNN2 (60 fps, min accuracy 0.70, higher priority) starts;
+//	      expected to claim the NPU, pushing DNN1 to the GPU compressed
+//	      (75%), trading accuracy.
+//	t=15  An AR/VR app occupies 75% of the GPU; DNN1 is expected to move
+//	      to the big CPU cluster, compressed further (25%).
+//	t=18  The device enters a hot environment (ambient 25→40 °C); the SoC
+//	      crosses its thermal limit shortly after, and the manager must
+//	      shed power: DNN1 ends up compressed on a low-power allocation.
+//	t=25  DNN2's accuracy requirement is reduced to 0.60; it compresses to
+//	      50%, freeing NPU memory, and the manager co-locates both DNNs on
+//	      the NPU (Fig 2(d)).
+func Fig2Scenario() Scenario {
+	prof := MobileProfile()
+	apps := []sim.App{
+		{
+			Name:       "dnn1",
+			Kind:       sim.KindDNN,
+			Profile:    prof,
+			Level:      4,
+			PeriodS:    0.040, // 25 fps
+			ModelBytes: 7 << 20,
+			Placement:  sim.Placement{Cluster: "npu"},
+		},
+		{
+			Name:       "dnn2",
+			Kind:       sim.KindDNN,
+			Profile:    prof,
+			Level:      4,
+			PeriodS:    1.0 / 60, // 60 fps: the stricter latency requirement
+			ModelBytes: 7 << 20,
+			StartS:     5,
+			Placement:  sim.Placement{Cluster: "cpu-big", Cores: 4},
+		},
+		{
+			Name:      "vrapp",
+			Kind:      sim.KindRender,
+			Util:      0.75,
+			StartS:    15,
+			Placement: sim.Placement{Cluster: "gpu"},
+		},
+	}
+	reqs := map[string]rtm.Requirement{
+		"dnn1": {MinAccuracy: 0.70, Priority: 1},
+		"dnn2": {MinAccuracy: 0.70, Priority: 2},
+	}
+	actions := []Action{
+		{
+			AtS:  18,
+			Name: "hot-environment",
+			Do:   func(e *sim.Engine, m *rtm.Manager) { e.SetAmbient(40) },
+		},
+		{
+			AtS:  25,
+			Name: "dnn2-accuracy-requirement-reduced",
+			Do: func(e *sim.Engine, m *rtm.Manager) {
+				m.SetRequirement("dnn2", rtm.Requirement{MinAccuracy: 0.60, Priority: 2})
+				m.Replan(e)
+			},
+		},
+	}
+	return Scenario{
+		Name:    "fig2",
+		Apps:    apps,
+		Reqs:    reqs,
+		Actions: actions,
+		EndS:    35,
+	}
+}
+
+// Fig5Scenario is a closed-loop disturbance run used by the Fig 5
+// experiment: a single DNN with a latency budget and accuracy floor on the
+// Odroid XU3 while a background task arrives on the same cluster mid-run
+// and later leaves. The manager must hold the budget through the
+// disturbance using the level, mapping and DVFS knobs.
+func Fig5Scenario(prof perf.ModelProfile) Scenario {
+	apps := []sim.App{
+		{
+			Name:       "dnn",
+			Kind:       sim.KindDNN,
+			Profile:    prof,
+			Level:      prof.MaxLevel(),
+			PeriodS:    0.250,
+			ModelBytes: 350 << 10,
+			Placement:  sim.Placement{Cluster: "a15", Cores: 4},
+		},
+		{
+			Name:      "burst",
+			Kind:      sim.KindBackground,
+			Util:      1.0,
+			StartS:    10,
+			StopS:     20,
+			Placement: sim.Placement{Cluster: "a15", Cores: 3},
+		},
+	}
+	reqs := map[string]rtm.Requirement{
+		"dnn": {MinAccuracy: 0.60, Priority: 1},
+	}
+	return Scenario{Name: "fig5", Apps: apps, Reqs: reqs, EndS: 30}
+}
+
+// Run executes a scenario with the manager in the loop and returns the
+// engine for inspection, the manager, and the final report.
+func Run(s Scenario, plat *hw.Platform, tickS float64, logf func(string, ...any)) (*sim.Engine, *rtm.Manager, sim.Report, error) {
+	mgr := rtm.NewManager(s.Reqs)
+	mgr.Logf = logf
+	ctrl := NewScenarioController(mgr, s.Actions)
+	e, err := sim.New(sim.Config{
+		Platform:   plat,
+		Apps:       s.Apps,
+		Controller: ctrl,
+		TickS:      tickS,
+		LogEvents:  true,
+	})
+	if err != nil {
+		return nil, nil, sim.Report{}, err
+	}
+	if err := e.Run(s.EndS); err != nil {
+		return nil, nil, sim.Report{}, err
+	}
+	return e, mgr, e.Report(), nil
+}
