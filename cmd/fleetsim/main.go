@@ -1,0 +1,126 @@
+// Command fleetsim runs a fleet of generated scenarios — many independent
+// simulator + runtime-manager instances — across a worker pool and reports
+// aggregate quality-of-service, energy and thermal statistics broken down
+// by platform and scenario class.
+//
+// The same seed yields a byte-identical report for any -workers value:
+// scenario generation and execution are deterministic, and aggregation is
+// order-stable.
+//
+// Usage:
+//
+//	fleetsim [-scenarios 64] [-seed 1] [-workers N] [-platforms a,b]
+//	         [-classes steady,thermal] [-format json|table] [-results]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/emlrtm/emlrtm/internal/fleet"
+	"github.com/emlrtm/emlrtm/internal/trace"
+)
+
+func main() {
+	scenarios := flag.Int("scenarios", 64, "number of scenarios to generate")
+	seed := flag.Uint64("seed", 1, "master seed (per-scenario seeds derive from it)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
+	platforms := flag.String("platforms", "", "comma-separated platform names (empty = all)")
+	classes := flag.String("classes", "", "comma-separated scenario classes (empty = all)")
+	format := flag.String("format", "json", "output format: json or table")
+	results := flag.Bool("results", false, "include per-scenario results (json format)")
+	progress := flag.Bool("progress", false, "print progress to stderr")
+	flag.Parse()
+
+	if *scenarios <= 0 {
+		log.Fatalf("fleetsim: -scenarios %d must be positive", *scenarios)
+	}
+	cfg := fleet.GeneratorConfig{Seed: *seed}
+	if *platforms != "" {
+		cfg.Platforms = strings.Split(*platforms, ",")
+	}
+	if *classes != "" {
+		for _, c := range strings.Split(*classes, ",") {
+			cfg.Classes = append(cfg.Classes, fleet.Class(c))
+		}
+	}
+
+	gen, err := fleet.NewGenerator(cfg)
+	if err != nil {
+		log.Fatalf("fleetsim: %v", err)
+	}
+	scens := gen.Generate(*scenarios)
+	runner := &fleet.Runner{Workers: *workers}
+	if *progress {
+		runner.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rfleetsim: %d/%d", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	res := runner.Run(scens)
+	rep := fleet.Aggregate(*seed, res)
+
+	switch *format {
+	case "json":
+		out := struct {
+			fleet.Report
+			Results []fleet.Result `json:"results,omitempty"`
+		}{Report: rep}
+		if *results {
+			out.Results = res
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatalf("fleetsim: %v", err)
+		}
+	case "table":
+		printTables(rep)
+	default:
+		log.Fatalf("fleetsim: unknown format %q", *format)
+	}
+}
+
+func printTables(rep fleet.Report) {
+	t := trace.NewTable(
+		fmt.Sprintf("fleet report (seed %d, %d scenarios)", rep.Seed, rep.Overall.Scenarios),
+		"group", "scen", "frames", "miss%", "meanLat(ms)", "p95Lat(ms)",
+		"energy(J)", "thermal%", "plans", "migr", "oppSw")
+	addRow := func(name string, s fleet.GroupStats) {
+		t.AddRow(name, s.Scenarios, s.Frames, 100*s.MissRate,
+			1000*s.MeanLatencyS, 1000*s.P95LatencyS,
+			s.EnergyMJ/1000, 100*s.ThermalRate,
+			s.Plans, s.Migrations, s.OPPSwitches)
+	}
+	addRow("overall", rep.Overall)
+	for _, name := range sortedKeys(rep.ByPlatform) {
+		addRow("platform:"+name, rep.ByPlatform[name])
+	}
+	classes := make([]string, 0, len(rep.ByClass))
+	for c := range rep.ByClass {
+		classes = append(classes, string(c))
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		addRow("class:"+c, rep.ByClass[fleet.Class(c)])
+	}
+	if _, err := t.WriteTo(os.Stdout); err != nil {
+		log.Fatalf("fleetsim: %v", err)
+	}
+}
+
+func sortedKeys(m map[string]fleet.GroupStats) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

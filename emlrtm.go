@@ -5,6 +5,7 @@ import (
 	"github.com/emlrtm/emlrtm/internal/dataset"
 	"github.com/emlrtm/emlrtm/internal/dyndnn"
 	"github.com/emlrtm/emlrtm/internal/experiments"
+	"github.com/emlrtm/emlrtm/internal/fleet"
 	"github.com/emlrtm/emlrtm/internal/hw"
 	"github.com/emlrtm/emlrtm/internal/pareto"
 	"github.com/emlrtm/emlrtm/internal/perf"
@@ -201,6 +202,49 @@ func MobileProfile() ModelProfile { return workload.MobileProfile() }
 // returns the engine, manager and report.
 func RunScenario(s Scenario, p *Platform, tickS float64, logf func(string, ...any)) (*Engine, *Manager, SimReport, error) {
 	return workload.Run(s, p, tickS, logf)
+}
+
+// ---- Fleet-scale scenario harness ----
+
+type (
+	// FleetScenario is one generated fleet member: a scripted workload
+	// bound to a catalog platform.
+	FleetScenario = fleet.Scenario
+	// FleetClass labels a scenario's disturbance pattern.
+	FleetClass = fleet.Class
+	// FleetGeneratorConfig parametrises scenario sampling.
+	FleetGeneratorConfig = fleet.GeneratorConfig
+	// FleetGenerator samples scenarios deterministically from a seed.
+	FleetGenerator = fleet.Generator
+	// FleetRunner fans scenarios out over a bounded worker pool.
+	FleetRunner = fleet.Runner
+	// FleetResult is the compact outcome of one scenario run.
+	FleetResult = fleet.Result
+	// FleetReport is the aggregate fleet outcome with per-platform and
+	// per-class breakdowns.
+	FleetReport = fleet.Report
+	// FleetGroupStats summarises one slice of the fleet.
+	FleetGroupStats = fleet.GroupStats
+)
+
+// NewFleetGenerator validates the config against the platform catalog.
+func NewFleetGenerator(cfg FleetGeneratorConfig) (*FleetGenerator, error) {
+	return fleet.NewGenerator(cfg)
+}
+
+// RunFleetScenario executes a single fleet scenario to completion.
+func RunFleetScenario(s FleetScenario) FleetResult { return fleet.RunOne(s) }
+
+// AggregateFleet folds per-scenario results into the fleet report.
+func AggregateFleet(seed uint64, results []FleetResult) FleetReport {
+	return fleet.Aggregate(seed, results)
+}
+
+// RunFleet generates n scenarios, runs them across the worker pool
+// (workers <= 0 means NumCPU) and aggregates. The report is bit-identical
+// for any worker count.
+func RunFleet(cfg FleetGeneratorConfig, n, workers int) (FleetReport, []FleetResult, error) {
+	return fleet.Run(cfg, n, workers)
 }
 
 // ---- Baselines ----

@@ -1,0 +1,65 @@
+// Fleet evaluation: sample a diverse population of runtime scenarios
+// (platforms × workload mixes × disturbance classes), run each one as an
+// independent simulator + runtime-manager instance across a worker pool,
+// and compare how the manager holds up per platform and per disturbance
+// class. The same seed gives the same report on any machine at any
+// parallelism.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	emlrtm "github.com/emlrtm/emlrtm"
+)
+
+func main() {
+	const scenarios, seed = 32, 2026
+
+	rep, results, err := emlrtm.RunFleet(
+		emlrtm.FleetGeneratorConfig{Seed: seed}, scenarios, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("fleet of %d scenarios (seed %d): %d frames, %.1f%% missed, %.1f J\n",
+		rep.Overall.Scenarios, seed, rep.Overall.Frames,
+		100*rep.Overall.MissRate, rep.Overall.EnergyMJ/1000)
+
+	// Maps iterate in random order; sort so the same seed prints the same
+	// report every run.
+	platforms := make([]string, 0, len(rep.ByPlatform))
+	for name := range rep.ByPlatform {
+		platforms = append(platforms, name)
+	}
+	sort.Strings(platforms)
+	fmt.Println("\nper platform:")
+	for _, name := range platforms {
+		g := rep.ByPlatform[name]
+		fmt.Printf("  %-14s %2d scenarios  miss %5.1f%%  p95 %6.1f ms  thermal %5.2f%%\n",
+			name, g.Scenarios, 100*g.MissRate, 1000*g.P95LatencyS, 100*g.ThermalRate)
+	}
+	classes := make([]string, 0, len(rep.ByClass))
+	for class := range rep.ByClass {
+		classes = append(classes, string(class))
+	}
+	sort.Strings(classes)
+	fmt.Println("\nper class:")
+	for _, class := range classes {
+		g := rep.ByClass[emlrtm.FleetClass(class)]
+		fmt.Printf("  %-8s %2d scenarios  miss %5.1f%%  plans %3d  migrations %2d\n",
+			class, g.Scenarios, 100*g.MissRate, g.Plans, g.Migrations)
+	}
+
+	// The worst single scenario is the interesting one to drill into.
+	worst := results[0]
+	for _, r := range results {
+		if r.Released > 0 && float64(r.Missed+r.Dropped)/float64(r.Released) >
+			float64(worst.Missed+worst.Dropped)/float64(max(worst.Released, 1)) {
+			worst = r
+		}
+	}
+	fmt.Printf("\nworst scenario: %s (%d/%d frames late or dropped, p95 %.1f ms)\n",
+		worst.Name, worst.Missed+worst.Dropped, worst.Released, 1000*worst.P95LatencyS)
+}

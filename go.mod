@@ -1,0 +1,3 @@
+module github.com/emlrtm/emlrtm
+
+go 1.24

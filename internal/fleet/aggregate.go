@@ -1,0 +1,139 @@
+package fleet
+
+import "fmt"
+
+// GroupStats summarises one slice of the fleet (overall, per platform, or
+// per class). Rates are frame-weighted across the group's scenarios;
+// percentiles pool every job latency in the group.
+type GroupStats struct {
+	Scenarios int `json:"scenarios"`
+	Errors    int `json:"errors"`
+
+	Frames    int     `json:"frames"` // DNN job releases
+	Completed int     `json:"completed"`
+	Missed    int     `json:"missed"`
+	Dropped   int     `json:"dropped"`
+	MissRate  float64 `json:"missRate"` // (missed+dropped)/frames
+
+	MeanLatencyS float64 `json:"meanLatencyS"`
+	P95LatencyS  float64 `json:"p95LatencyS"`
+	MaxLatencyS  float64 `json:"maxLatencyS"`
+
+	EnergyMJ      float64 `json:"energyMJ"`      // total across the group
+	SimSeconds    float64 `json:"simSeconds"`    // total simulated time
+	OverThrottleS float64 `json:"overThrottleS"` // total thermal-violation time
+	ThermalRate   float64 `json:"thermalRate"`   // overThrottleS / simSeconds
+
+	Plans       int `json:"plans"`
+	Migrations  int `json:"migrations"`
+	LevelSwaps  int `json:"levelSwaps"`
+	OPPSwitches int `json:"oppSwitches"`
+}
+
+// Report is the aggregate outcome of a fleet run, broken down by platform
+// and scenario class. Maps marshal with sorted keys, so the JSON encoding
+// is deterministic.
+type Report struct {
+	Seed       uint64                `json:"seed"`
+	Overall    GroupStats            `json:"overall"`
+	ByPlatform map[string]GroupStats `json:"byPlatform"`
+	ByClass    map[Class]GroupStats  `json:"byClass"`
+}
+
+// group accumulates results before finalisation.
+type group struct {
+	stats     GroupStats
+	latencies []float64
+	latSum    float64
+}
+
+func (g *group) add(r Result) {
+	s := &g.stats
+	s.Scenarios++
+	if r.Err != "" {
+		s.Errors++
+		return
+	}
+	s.Frames += r.Released
+	s.Completed += r.Completed
+	s.Missed += r.Missed
+	s.Dropped += r.Dropped
+	s.EnergyMJ += r.EnergyMJ
+	s.SimSeconds += r.DurationS
+	s.OverThrottleS += r.OverThrottleS
+	s.Plans += r.Plans
+	s.Migrations += r.Migrations
+	s.LevelSwaps += r.LevelSwaps
+	s.OPPSwitches += r.OPPSwitches
+	if r.MaxLatencyS > s.MaxLatencyS {
+		s.MaxLatencyS = r.MaxLatencyS
+	}
+	g.latencies = append(g.latencies, r.Latencies...)
+	for _, l := range r.Latencies {
+		g.latSum += l
+	}
+}
+
+func (g *group) finalise() GroupStats {
+	s := g.stats
+	if s.Frames > 0 {
+		s.MissRate = float64(s.Missed+s.Dropped) / float64(s.Frames)
+	}
+	if len(g.latencies) > 0 {
+		s.MeanLatencyS = g.latSum / float64(len(g.latencies))
+		s.P95LatencyS = percentile(g.latencies, 0.95)
+	}
+	if s.SimSeconds > 0 {
+		s.ThermalRate = s.OverThrottleS / s.SimSeconds
+	}
+	return s
+}
+
+// Aggregate folds per-scenario results into the fleet report. Results are
+// consumed in slice order, so the report is deterministic whenever the
+// results slice is (which Runner.Run guarantees).
+func Aggregate(seed uint64, results []Result) Report {
+	overall := &group{}
+	byPlat := map[string]*group{}
+	byClass := map[Class]*group{}
+	for _, r := range results {
+		overall.add(r)
+		if byPlat[r.Platform] == nil {
+			byPlat[r.Platform] = &group{}
+		}
+		byPlat[r.Platform].add(r)
+		if byClass[r.Class] == nil {
+			byClass[r.Class] = &group{}
+		}
+		byClass[r.Class].add(r)
+	}
+	rep := Report{
+		Seed:       seed,
+		Overall:    overall.finalise(),
+		ByPlatform: map[string]GroupStats{},
+		ByClass:    map[Class]GroupStats{},
+	}
+	for name, g := range byPlat {
+		rep.ByPlatform[name] = g.finalise()
+	}
+	for class, g := range byClass {
+		rep.ByClass[class] = g.finalise()
+	}
+	return rep
+}
+
+// Run is the one-call entry point: generate n scenarios from the config,
+// run them across the pool, and aggregate.
+func Run(cfg GeneratorConfig, n, workers int) (Report, []Result, error) {
+	if n <= 0 {
+		return Report{}, nil, fmt.Errorf("fleet: scenario count %d must be positive", n)
+	}
+	gen, err := NewGenerator(cfg)
+	if err != nil {
+		return Report{}, nil, err
+	}
+	scenarios := gen.Generate(n)
+	runner := &Runner{Workers: workers}
+	results := runner.Run(scenarios)
+	return Aggregate(cfg.Seed, results), results, nil
+}

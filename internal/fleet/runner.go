@@ -1,0 +1,184 @@
+package fleet
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/emlrtm/emlrtm/internal/hw"
+	"github.com/emlrtm/emlrtm/internal/sim"
+	"github.com/emlrtm/emlrtm/internal/workload"
+)
+
+// Result is the compact outcome of one scenario run. Latencies carries the
+// raw per-job samples Aggregate pools for percentiles; it is part of the
+// JSON encoding so results can round-trip through a file and be merged
+// across processes (the ROADMAP's distributed-fleet path) without silently
+// zeroing the pooled latency stats.
+type Result struct {
+	ID       int    `json:"id"`
+	Name     string `json:"name"`
+	Class    Class  `json:"class"`
+	Platform string `json:"platform"`
+	Seed     uint64 `json:"seed"`
+	Err      string `json:"err,omitempty"`
+
+	DurationS float64 `json:"durationS"`
+
+	Released  int `json:"released"`
+	Completed int `json:"completed"`
+	Missed    int `json:"missed"`
+	Dropped   int `json:"dropped"`
+
+	MeanLatencyS float64 `json:"meanLatencyS"`
+	P95LatencyS  float64 `json:"p95LatencyS"`
+	MaxLatencyS  float64 `json:"maxLatencyS"`
+
+	EnergyMJ   float64 `json:"energyMJ"`
+	AvgPowerMW float64 `json:"avgPowerMW"`
+
+	MaxTempC      float64 `json:"maxTempC"`
+	OverThrottleS float64 `json:"overThrottleS"`
+
+	Plans       int `json:"plans"`
+	Migrations  int `json:"migrations"`
+	LevelSwaps  int `json:"levelSwaps"`
+	OPPSwitches int `json:"oppSwitches"`
+
+	Latencies []float64 `json:"latencies,omitempty"`
+}
+
+// TickS is the manager epoch every fleet run uses; a constant keeps runs
+// comparable across scenarios.
+const TickS = 0.25
+
+// RunOne executes a single scenario to completion. It is a pure function
+// of the scenario (fresh platform, fresh manager, no logging), which is
+// what makes fleet results independent of scheduling.
+func RunOne(s Scenario) Result {
+	res := Result{
+		ID:       s.ID,
+		Name:     s.Script.Name,
+		Class:    s.Class,
+		Platform: s.Platform,
+		Seed:     s.Seed,
+	}
+	plat := hw.Catalog()[s.Platform]
+	if plat == nil {
+		res.Err = fmt.Sprintf("unknown platform %q", s.Platform)
+		return res
+	}
+	_, mgr, rep, err := workload.Run(s.Script, plat, TickS, nil)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+
+	res.DurationS = rep.DurationS
+	res.EnergyMJ = rep.TotalEnergyMJ
+	res.AvgPowerMW = rep.AvgPowerMW
+	res.MaxTempC = rep.MaxTempC
+	res.OverThrottleS = rep.OverThrottleS
+	res.Plans = mgr.Plans()
+	res.Migrations = rep.Migrations
+	res.LevelSwaps = rep.LevelSwaps
+	res.OPPSwitches = rep.OPPSwitches
+	for _, a := range rep.Apps {
+		if a.Kind != sim.KindDNN {
+			continue
+		}
+		res.Released += a.Released
+		res.Completed += a.Completed
+		res.Missed += a.Missed
+		res.Dropped += a.Dropped
+	}
+	for _, ev := range rep.Events {
+		if ev.Kind == sim.EvJobComplete || ev.Kind == sim.EvDeadlineMiss {
+			res.Latencies = append(res.Latencies, ev.LatencyS)
+		}
+	}
+	var sum float64
+	for _, l := range res.Latencies {
+		sum += l
+		if l > res.MaxLatencyS {
+			res.MaxLatencyS = l
+		}
+	}
+	if len(res.Latencies) > 0 {
+		res.MeanLatencyS = sum / float64(len(res.Latencies))
+		res.P95LatencyS = percentile(res.Latencies, 0.95)
+	}
+	return res
+}
+
+// percentile returns the p-quantile (nearest-rank) of the samples.
+func percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	idx := int(float64(len(s))*p+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// Runner fans scenarios out over a bounded worker pool.
+type Runner struct {
+	// Workers is the pool size; 0 means runtime.NumCPU().
+	Workers int
+	// Progress, when set, is called after each scenario completes with the
+	// number done so far and the total. Calls arrive from worker
+	// goroutines; the callback must be safe for concurrent use.
+	Progress func(done, total int)
+}
+
+// Run executes all scenarios and returns results indexed by scenario
+// position. Output is bit-identical for any worker count: each run is
+// independent and results land in their own slot.
+func (r *Runner) Run(scenarios []Scenario) []Result {
+	results := make([]Result, len(scenarios))
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	if workers <= 1 {
+		for i, s := range scenarios {
+			results[i] = RunOne(s)
+			if r.Progress != nil {
+				r.Progress(i+1, len(scenarios))
+			}
+		}
+		return results
+	}
+	var next, done atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(scenarios) {
+					return
+				}
+				results[i] = RunOne(scenarios[i])
+				if r.Progress != nil {
+					r.Progress(int(done.Add(1)), len(scenarios))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

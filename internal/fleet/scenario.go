@@ -1,0 +1,341 @@
+// Package fleet is a fleet-scale evaluation harness: it samples many
+// diverse runtime scenarios from the repo's building blocks (platforms
+// from hw.Catalog, app mixes and disturbance patterns in the style of
+// internal/workload) and runs them as independent sim.Engine + rtm.Manager
+// instances across a bounded worker pool.
+//
+// Determinism is the core contract. Every scenario carries its own RNG
+// seed, derived from the master seed and the scenario index by a SplitMix64
+// step, so scenario i is the same no matter how many scenarios are
+// generated around it; and every run is a pure function of its scenario,
+// so the aggregate report is bit-identical regardless of worker count or
+// completion order. That is what lets a 1-worker CI run and a 64-worker
+// sweep box check each other.
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/emlrtm/emlrtm/internal/hw"
+	"github.com/emlrtm/emlrtm/internal/perf"
+	"github.com/emlrtm/emlrtm/internal/rtm"
+	"github.com/emlrtm/emlrtm/internal/sim"
+	"github.com/emlrtm/emlrtm/internal/workload"
+)
+
+// Class labels the disturbance pattern a scenario exercises. Classes keep
+// the sampled population covering the paper's qualitatively different
+// regimes instead of collapsing into one average workload.
+type Class string
+
+// Scenario classes, from least to most adversarial.
+const (
+	// ClassSteady: DNN streams only, no disturbances — the manager's plan
+	// should converge once and hold.
+	ClassSteady Class = "steady"
+	// ClassMixed: DNN streams sharing the platform with render and
+	// background load from the start (the Fig 2 co-location premise).
+	ClassMixed Class = "mixed"
+	// ClassBursty: background bursts arrive and leave mid-run (the Fig 5
+	// disturbance shape).
+	ClassBursty Class = "bursty"
+	// ClassThermal: the ambient temperature ramps up mid-run, forcing the
+	// manager to shed power (the Fig 2 t=18 event).
+	ClassThermal Class = "thermal"
+	// ClassChurn: apps arrive/leave mid-run and a requirement changes (the
+	// Fig 2 t=25 event).
+	ClassChurn Class = "churn"
+)
+
+// AllClasses lists every built-in class in generation order.
+func AllClasses() []Class {
+	return []Class{ClassSteady, ClassMixed, ClassBursty, ClassThermal, ClassChurn}
+}
+
+// Scenario is one generated fleet member: a scripted workload bound to a
+// named catalog platform.
+type Scenario struct {
+	ID       int
+	Seed     uint64
+	Class    Class
+	Platform string // hw.Catalog key
+	Script   workload.Scenario
+}
+
+// GeneratorConfig parametrises scenario sampling.
+type GeneratorConfig struct {
+	// Seed is the master seed; all per-scenario seeds derive from it.
+	Seed uint64
+	// Platforms restricts sampling to these hw.Catalog names (nil = all,
+	// in sorted-name order for determinism).
+	Platforms []string
+	// Classes restricts sampling to these classes (nil = AllClasses).
+	Classes []Class
+	// MinDurationS/MaxDurationS bound the sampled simulation horizon.
+	// Defaults: 20 and 40 seconds.
+	MinDurationS float64
+	MaxDurationS float64
+}
+
+// Generator samples scenarios deterministically.
+type Generator struct {
+	cfg       GeneratorConfig
+	platforms []string
+	classes   []Class
+}
+
+// NewGenerator validates the config against the platform catalog.
+func NewGenerator(cfg GeneratorConfig) (*Generator, error) {
+	cat := hw.Catalog()
+	if cfg.MinDurationS == 0 {
+		cfg.MinDurationS = 20
+	}
+	if cfg.MaxDurationS == 0 {
+		cfg.MaxDurationS = 40
+	}
+	if cfg.MinDurationS <= 0 || cfg.MaxDurationS < cfg.MinDurationS {
+		return nil, fmt.Errorf("fleet: bad duration range [%g,%g]", cfg.MinDurationS, cfg.MaxDurationS)
+	}
+	g := &Generator{cfg: cfg}
+	if len(cfg.Platforms) == 0 {
+		for name := range cat {
+			g.platforms = append(g.platforms, name)
+		}
+		sort.Strings(g.platforms)
+	} else {
+		for _, name := range cfg.Platforms {
+			if cat[name] == nil {
+				return nil, fmt.Errorf("fleet: unknown platform %q", name)
+			}
+			g.platforms = append(g.platforms, name)
+		}
+	}
+	if len(cfg.Classes) == 0 {
+		g.classes = AllClasses()
+	} else {
+		known := map[Class]bool{}
+		for _, c := range AllClasses() {
+			known[c] = true
+		}
+		for _, c := range cfg.Classes {
+			if !known[c] {
+				return nil, fmt.Errorf("fleet: unknown class %q", c)
+			}
+		}
+		g.classes = cfg.Classes
+	}
+	return g, nil
+}
+
+// splitmix64 is the standard SplitMix64 output step; it turns the master
+// seed and a scenario index into a well-mixed per-scenario seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Generate samples n scenarios (n <= 0 yields none). Scenario i depends
+// only on (Seed, i), so prefixes are stable when n grows.
+func (g *Generator) Generate(n int) []Scenario {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]Scenario, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, g.generateOne(i))
+	}
+	return out
+}
+
+func (g *Generator) generateOne(id int) Scenario {
+	seed := splitmix64(g.cfg.Seed + uint64(id)*0x9e3779b97f4a7c15)
+	rng := rand.New(rand.NewSource(int64(seed)))
+	class := g.classes[rng.Intn(len(g.classes))]
+	platName := g.platforms[rng.Intn(len(g.platforms))]
+	plat := hw.Catalog()[platName]
+
+	s := Scenario{
+		ID:       id,
+		Seed:     seed,
+		Class:    class,
+		Platform: platName,
+	}
+	s.Script = g.script(rng, class, plat)
+	s.Script.Name = fmt.Sprintf("%s-%s-%04d", class, platName, id)
+	return s
+}
+
+// env is the platform-derived sampling envelope: which profile is
+// realistic, which clusters can host what, and how fast the best cluster
+// runs the full model (periods scale off that so every platform sees
+// feasible-but-tight frame rates rather than one hardcoded mix).
+type env struct {
+	prof       perf.ModelProfile
+	modelBytes int64
+	bestLatS   float64 // full-model latency on the fastest cluster at max OPP
+	dnnHosts   []string
+	cpuHosts   []*hw.Cluster // CPU clusters for background load
+	renderHost string        // GPU cluster name, "" if none
+}
+
+func newEnv(plat *hw.Platform) env {
+	e := env{prof: perf.PaperReferenceProfile(), modelBytes: 350 << 10}
+	// Platforms with a fast accelerator get the heavier mobile-vision
+	// profile so the accelerator faces real trade-offs.
+	for _, cl := range plat.Clusters {
+		if cl.Type.IsAccelerator() && cl.RateMACsPerSecGHz*cl.MaxOPP().FreqGHz >= 100e6 {
+			e.prof = workload.MobileProfile()
+			e.modelBytes = 7 << 20
+			break
+		}
+	}
+	full := e.prof.Level(e.prof.MaxLevel()).MACs
+	best := 0.0
+	for _, cl := range plat.Clusters {
+		lat := perf.InferenceLatencyS(cl, cl.MaxOPP(), cl.Cores, full)
+		if best == 0 || lat < best {
+			best = lat
+		}
+		e.dnnHosts = append(e.dnnHosts, cl.Name)
+		if cl.Type.IsAccelerator() {
+			if cl.Type == hw.CoreGPU && e.renderHost == "" {
+				e.renderHost = cl.Name
+			}
+		} else {
+			e.cpuHosts = append(e.cpuHosts, cl)
+		}
+	}
+	e.bestLatS = best
+	return e
+}
+
+// pickPeriod samples a frame period as a multiple of the platform's best
+// full-model latency: tight (×1.5) through comfortable (×8).
+func pickPeriod(rng *rand.Rand, e env) float64 {
+	factors := []float64{1.5, 2, 3, 5, 8}
+	return e.bestLatS * factors[rng.Intn(len(factors))]
+}
+
+// pickRequirement samples an achievable accuracy floor by choosing a level
+// of the profile (or none) and a priority.
+func pickRequirement(rng *rand.Rand, e env) rtm.Requirement {
+	r := rtm.Requirement{Priority: 1 + rng.Intn(3)}
+	if lvl := rng.Intn(e.prof.MaxLevel() + 1); lvl > 0 {
+		r.MinAccuracy = e.prof.Level(lvl).Accuracy
+	}
+	return r
+}
+
+func (g *Generator) sampleDuration(rng *rand.Rand) float64 {
+	lo, hi := g.cfg.MinDurationS, g.cfg.MaxDurationS
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// script builds the class-specific workload timeline.
+func (g *Generator) script(rng *rand.Rand, class Class, plat *hw.Platform) workload.Scenario {
+	e := newEnv(plat)
+	endS := g.sampleDuration(rng)
+	sc := workload.Scenario{
+		EndS: endS,
+		Reqs: map[string]rtm.Requirement{},
+	}
+
+	nDNN := 1 + rng.Intn(3)
+	var dnnNames []string
+	for i := 0; i < nDNN; i++ {
+		name := fmt.Sprintf("dnn%d", i+1)
+		dnnNames = append(dnnNames, name)
+		host := plat.Cluster(e.dnnHosts[rng.Intn(len(e.dnnHosts))])
+		cores := host.Cores
+		if !host.Type.IsAccelerator() {
+			cores = 1 + rng.Intn(host.Cores)
+		}
+		app := sim.App{
+			Name:       name,
+			Kind:       sim.KindDNN,
+			Profile:    e.prof,
+			Level:      1 + rng.Intn(e.prof.MaxLevel()),
+			PeriodS:    pickPeriod(rng, e),
+			ModelBytes: e.modelBytes,
+			Placement:  sim.Placement{Cluster: host.Name, Cores: cores},
+		}
+		if class == ClassChurn && i > 0 {
+			// Staggered arrivals; some leave before the end.
+			app.StartS = rng.Float64() * endS / 2
+			if rng.Intn(2) == 0 {
+				app.StopS = app.StartS + (0.3+0.5*rng.Float64())*(endS-app.StartS)
+			}
+		}
+		sc.Apps = append(sc.Apps, app)
+		sc.Reqs[name] = pickRequirement(rng, e)
+	}
+
+	switch class {
+	case ClassMixed:
+		if e.renderHost != "" {
+			sc.Apps = append(sc.Apps, sim.App{
+				Name:      "render",
+				Kind:      sim.KindRender,
+				Util:      0.3 + 0.5*rng.Float64(),
+				Placement: sim.Placement{Cluster: e.renderHost},
+			})
+		}
+		if len(e.cpuHosts) > 0 {
+			host := e.cpuHosts[rng.Intn(len(e.cpuHosts))]
+			sc.Apps = append(sc.Apps, sim.App{
+				Name:      "bg",
+				Kind:      sim.KindBackground,
+				Util:      0.3 + 0.6*rng.Float64(),
+				Placement: sim.Placement{Cluster: host.Name, Cores: 1 + rng.Intn(host.Cores)},
+			})
+		}
+	case ClassBursty:
+		nBurst := 1 + rng.Intn(2)
+		for i := 0; i < nBurst && len(e.cpuHosts) > 0; i++ {
+			host := e.cpuHosts[rng.Intn(len(e.cpuHosts))]
+			start := rng.Float64() * endS * 0.6
+			sc.Apps = append(sc.Apps, sim.App{
+				Name:      fmt.Sprintf("burst%d", i+1),
+				Kind:      sim.KindBackground,
+				Util:      0.6 + 0.4*rng.Float64(),
+				StartS:    start,
+				StopS:     start + (0.2+0.3*rng.Float64())*endS,
+				Placement: sim.Placement{Cluster: host.Name, Cores: 1 + rng.Intn(host.Cores)},
+			})
+		}
+	case ClassThermal:
+		hotAt := (0.2 + 0.3*rng.Float64()) * endS
+		hotC := plat.AmbientC + 10 + 10*rng.Float64()
+		sc.Actions = append(sc.Actions, workload.Action{
+			AtS:  hotAt,
+			Name: "hot-environment",
+			Do:   func(se *sim.Engine, m *rtm.Manager) { se.SetAmbient(hotC) },
+		})
+		if rng.Intn(2) == 0 {
+			coolAt := hotAt + (0.3+0.3*rng.Float64())*(endS-hotAt)
+			base := plat.AmbientC
+			sc.Actions = append(sc.Actions, workload.Action{
+				AtS:  coolAt,
+				Name: "cool-environment",
+				Do:   func(se *sim.Engine, m *rtm.Manager) { se.SetAmbient(base) },
+			})
+		}
+	case ClassChurn:
+		// Mid-run requirement change on one DNN, as in Fig 2 t=25.
+		target := dnnNames[rng.Intn(len(dnnNames))]
+		newReq := pickRequirement(rng, e)
+		sc.Actions = append(sc.Actions, workload.Action{
+			AtS:  (0.4 + 0.3*rng.Float64()) * endS,
+			Name: "requirement-change-" + target,
+			Do: func(se *sim.Engine, m *rtm.Manager) {
+				m.SetRequirement(target, newReq)
+				m.Replan(se)
+			},
+		})
+	}
+	return sc
+}

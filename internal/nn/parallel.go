@@ -3,6 +3,7 @@ package nn
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // maxWorkers caps batch-level parallelism. Convolution forward/backward
@@ -24,17 +25,20 @@ func parallelFor(n int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	// Work distribution is an atomic claim counter rather than a channel
+	// pre-filled with n indices: this path runs per conv layer per batch,
+	// and the O(n) channel fill plus its allocation dominated small kernels.
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
 				fn(i)
 			}
 		}()

@@ -244,8 +244,15 @@ func (m *Manager) Replan(e *sim.Engine) {
 	}
 	// Non-DNN apps consume resources and (uncontrollable) power at the OPP
 	// they will be pinned to: max for render clusters, min otherwise.
-	for clName, residents := range others {
-		cl := plat.Cluster(clName)
+	// Iterate in platform cluster order, not map order: the budget is a
+	// float accumulation, and a run-dependent summation order could flip a
+	// marginal feasibility decision between otherwise identical runs.
+	for _, cl := range plat.Clusters {
+		clName := cl.Name
+		residents := others[clName]
+		if len(residents) == 0 {
+			continue
+		}
 		opp := cl.MinOPP()
 		if hasRender(residents) {
 			opp = cl.MaxOPP()

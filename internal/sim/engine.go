@@ -329,9 +329,10 @@ func (e *Engine) complete(a *appState) {
 	if latency > a.PeriodS+1e-9 {
 		a.missed++
 		e.emit(Event{TimeS: e.now, Kind: EvDeadlineMiss, App: a.Name,
-			Note: fmt.Sprintf("latency %.1fms > %.1fms", latency*1000, a.PeriodS*1000)})
+			Note:     fmt.Sprintf("latency %.1fms > %.1fms", latency*1000, a.PeriodS*1000),
+			LatencyS: latency})
 	} else {
-		e.emit(Event{TimeS: e.now, Kind: EvJobComplete, App: a.Name})
+		e.emit(Event{TimeS: e.now, Kind: EvJobComplete, App: a.Name, LatencyS: latency})
 	}
 }
 

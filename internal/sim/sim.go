@@ -118,6 +118,10 @@ type Event struct {
 	Kind  EventKind
 	App   string
 	Note  string
+	// LatencyS is the job's release-to-completion latency, set on
+	// EvJobComplete and EvDeadlineMiss (0 otherwise). Consumers building
+	// latency distributions (percentiles) read it from the event log.
+	LatencyS float64
 }
 
 // Controller is the runtime-manager hook (Fig 5's RTM layer). OnTick fires
