@@ -7,19 +7,32 @@
 // scenario generation and execution are deterministic, and aggregation is
 // order-stable.
 //
+// A fleet can also be split across processes or machines. -shard i/m runs
+// only the i-th (1-based) contiguous slice of the scenario range and
+// writes a shard file; "fleetsim merge" validates and combines shard
+// files into a report byte-identical to the single-process run:
+//
+//	fleetsim -scenarios 64 -seed 1 -shard 1/2 -out shard1.json
+//	fleetsim -scenarios 64 -seed 1 -shard 2/2 -out shard2.json
+//	fleetsim merge shard1.json shard2.json
+//
 // Usage:
 //
 //	fleetsim [-scenarios 64] [-seed 1] [-workers N] [-platforms a,b]
 //	         [-classes steady,thermal] [-format json|table] [-results]
+//	         [-shard i/m] [-out file]
+//	fleetsim merge [-format json|table] [-results] [-out file] shard.json...
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"github.com/emlrtm/emlrtm/internal/fleet"
@@ -27,7 +40,15 @@ import (
 )
 
 func main() {
-	scenarios := flag.Int("scenarios", 64, "number of scenarios to generate")
+	if len(os.Args) > 1 && os.Args[1] == "merge" {
+		mergeMain(os.Args[2:])
+		return
+	}
+	runMain()
+}
+
+func runMain() {
+	scenarios := flag.Int("scenarios", 64, "number of scenarios in the fleet (the whole fleet, even with -shard)")
 	seed := flag.Uint64("seed", 1, "master seed (per-scenario seeds derive from it)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
 	platforms := flag.String("platforms", "", "comma-separated platform names (empty = all)")
@@ -35,8 +56,15 @@ func main() {
 	format := flag.String("format", "json", "output format: json or table")
 	results := flag.Bool("results", false, "include per-scenario results (json format)")
 	progress := flag.Bool("progress", false, "print progress to stderr")
+	shard := flag.String("shard", "", "run only shard i of m, as \"i/m\" (1-based); output is a shard file for \"fleetsim merge\"")
+	out := flag.String("out", "", "write output to this file instead of stdout")
 	flag.Parse()
 
+	// Validate everything cheap before simulating: a bad -format or -shard
+	// must fail now, not after minutes of fleet execution.
+	if *format != "json" && *format != "table" {
+		log.Fatalf("fleetsim: unknown format %q (want json or table)", *format)
+	}
 	if *scenarios <= 0 {
 		log.Fatalf("fleetsim: -scenarios %d must be positive", *scenarios)
 	}
@@ -49,6 +77,28 @@ func main() {
 			cfg.Classes = append(cfg.Classes, fleet.Class(c))
 		}
 	}
+	shardIdx, shardCount, err := parseShard(*shard)
+	if err != nil {
+		log.Fatalf("fleetsim: %v", err)
+	}
+
+	if shardCount > 0 {
+		// Shard mode always emits a JSON shard file; refuse report-shaping
+		// flags instead of silently dropping them.
+		if *format != "json" || *results {
+			log.Fatalf("fleetsim: -format/-results have no effect with -shard; use them on \"fleetsim merge\"")
+		}
+		runner := &fleet.Runner{Workers: *workers}
+		if *progress {
+			runner.Progress = progressFunc()
+		}
+		res, err := runner.RunShard(cfg, *scenarios, shardIdx, shardCount)
+		if err != nil {
+			log.Fatalf("fleetsim: %v", err)
+		}
+		writeOutput(*out, func(w io.Writer) error { return fleet.WriteShard(w, res) })
+		return
+	}
 
 	gen, err := fleet.NewGenerator(cfg)
 	if err != nil {
@@ -57,38 +107,131 @@ func main() {
 	scens := gen.Generate(*scenarios)
 	runner := &fleet.Runner{Workers: *workers}
 	if *progress {
-		runner.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\rfleetsim: %d/%d", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
-		}
+		runner.Progress = progressFunc()
 	}
 	res := runner.Run(scens)
 	rep := fleet.Aggregate(*seed, res)
+	if !*results {
+		res = nil
+	}
+	writeOutput(*out, func(w io.Writer) error { return writeReport(w, *format, rep, res) })
+}
 
-	switch *format {
+func mergeMain(args []string) {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	format := fs.String("format", "json", "output format: json or table")
+	results := fs.Bool("results", false, "include per-scenario results (json format)")
+	out := fs.String("out", "", "write output to this file instead of stdout")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: fleetsim merge [-format json|table] [-results] [-out file] shard.json...")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		log.Fatalf("fleetsim merge: %v", err)
+	}
+	if *format != "json" && *format != "table" {
+		log.Fatalf("fleetsim merge: unknown format %q (want json or table)", *format)
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	shards := make([]fleet.ShardResult, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatalf("fleetsim merge: %v", err)
+		}
+		s, err := fleet.ReadShard(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("fleetsim merge: %s: %v", path, err)
+		}
+		shards = append(shards, s)
+	}
+	rep, res, err := fleet.Merge(shards...)
+	if err != nil {
+		log.Fatalf("fleetsim merge: %v", err)
+	}
+	if !*results {
+		res = nil
+	}
+	writeOutput(*out, func(w io.Writer) error { return writeReport(w, *format, rep, res) })
+}
+
+// parseShard parses "i/m" (1-based) into a 0-based index and a count;
+// empty input means no sharding (count 0). Trailing garbage is an error:
+// a misparsed -shard means minutes of simulating the wrong slice.
+func parseShard(s string) (index, count int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	is, ms, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("-shard %q must be i/m, e.g. 1/4", s)
+	}
+	i, err1 := strconv.Atoi(is)
+	m, err2 := strconv.Atoi(ms)
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("-shard %q must be i/m, e.g. 1/4", s)
+	}
+	if m < 1 || i < 1 || i > m {
+		return 0, 0, fmt.Errorf("-shard %q out of range: want 1 <= i <= m", s)
+	}
+	return i - 1, m, nil
+}
+
+func progressFunc() func(done, total int) {
+	return func(done, total int) {
+		fmt.Fprintf(os.Stderr, "\rfleetsim: %d/%d", done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+	}
+}
+
+// writeOutput runs emit against -out (or stdout). Shard and report bytes
+// go through here so single-process, shard and merge outputs format
+// identically — that is what lets CI `cmp` them.
+func writeOutput(path string, emit func(io.Writer) error) {
+	w := io.Writer(os.Stdout)
+	var f *os.File
+	if path != "" {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			log.Fatalf("fleetsim: %v", err)
+		}
+		w = f
+	}
+	if err := emit(w); err != nil {
+		log.Fatalf("fleetsim: %v", err)
+	}
+	if f != nil {
+		if err := f.Close(); err != nil {
+			log.Fatalf("fleetsim: %v", err)
+		}
+	}
+}
+
+func writeReport(w io.Writer, format string, rep fleet.Report, res []fleet.Result) error {
+	switch format {
 	case "json":
 		out := struct {
 			fleet.Report
 			Results []fleet.Result `json:"results,omitempty"`
-		}{Report: rep}
-		if *results {
-			out.Results = res
-		}
-		enc := json.NewEncoder(os.Stdout)
+		}{Report: rep, Results: res}
+		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			log.Fatalf("fleetsim: %v", err)
-		}
+		return enc.Encode(out)
 	case "table":
-		printTables(rep)
+		return printTables(w, rep)
 	default:
-		log.Fatalf("fleetsim: unknown format %q", *format)
+		return fmt.Errorf("unknown format %q", format)
 	}
 }
 
-func printTables(rep fleet.Report) {
+func printTables(w io.Writer, rep fleet.Report) error {
 	t := trace.NewTable(
 		fmt.Sprintf("fleet report (seed %d, %d scenarios)", rep.Seed, rep.Overall.Scenarios),
 		"group", "scen", "frames", "miss%", "meanLat(ms)", "p95Lat(ms)",
@@ -111,9 +254,8 @@ func printTables(rep fleet.Report) {
 	for _, c := range classes {
 		addRow("class:"+c, rep.ByClass[fleet.Class(c)])
 	}
-	if _, err := t.WriteTo(os.Stdout); err != nil {
-		log.Fatalf("fleetsim: %v", err)
-	}
+	_, err := t.WriteTo(w)
+	return err
 }
 
 func sortedKeys(m map[string]fleet.GroupStats) []string {

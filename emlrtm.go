@@ -1,6 +1,8 @@
 package emlrtm
 
 import (
+	"io"
+
 	"github.com/emlrtm/emlrtm/internal/baselines"
 	"github.com/emlrtm/emlrtm/internal/dataset"
 	"github.com/emlrtm/emlrtm/internal/dyndnn"
@@ -225,7 +227,14 @@ type (
 	FleetReport = fleet.Report
 	// FleetGroupStats summarises one slice of the fleet.
 	FleetGroupStats = fleet.GroupStats
+	// FleetShardResult is one process's share of a fleet run: results for
+	// a contiguous scenario range plus the header that proves shard
+	// compatibility on merge.
+	FleetShardResult = fleet.ShardResult
 )
+
+// FleetShardFormatVersion is the current shard-file format version.
+const FleetShardFormatVersion = fleet.ShardFormatVersion
 
 // NewFleetGenerator validates the config against the platform catalog.
 func NewFleetGenerator(cfg FleetGeneratorConfig) (*FleetGenerator, error) {
@@ -245,6 +254,37 @@ func AggregateFleet(seed uint64, results []FleetResult) FleetReport {
 // for any worker count.
 func RunFleet(cfg FleetGeneratorConfig, n, workers int) (FleetReport, []FleetResult, error) {
 	return fleet.Run(cfg, n, workers)
+}
+
+// FleetShardRange returns the contiguous scenario index range [lo, hi)
+// owned by shard index (0-based) of count over a total-scenario fleet.
+func FleetShardRange(total, index, count int) (lo, hi int) {
+	return fleet.ShardRange(total, index, count)
+}
+
+// RunFleetShard runs shard index (0-based) of count over a
+// total-scenario fleet; merging every shard with MergeFleetShards is
+// byte-identical to RunFleet over the same config and total.
+func RunFleetShard(cfg FleetGeneratorConfig, total, index, count, workers int) (FleetShardResult, error) {
+	return fleet.RunShard(cfg, total, index, count, workers)
+}
+
+// WriteFleetShard validates the shard and writes it as indented JSON.
+func WriteFleetShard(w io.Writer, s FleetShardResult) error {
+	return fleet.WriteShard(w, s)
+}
+
+// ReadFleetShard decodes one shard file, validating the format version,
+// index range and per-scenario seed derivation.
+func ReadFleetShard(r io.Reader) (FleetShardResult, error) {
+	return fleet.ReadShard(r)
+}
+
+// MergeFleetShards combines shards covering a whole fleet — rejecting
+// gaps, overlaps, and seed or config mismatches — into a report
+// byte-identical to the single-process run.
+func MergeFleetShards(shards ...FleetShardResult) (FleetReport, []FleetResult, error) {
+	return fleet.Merge(shards...)
 }
 
 // ---- Baselines ----

@@ -1,0 +1,126 @@
+// Sharded fleet evaluation: split one fleet across separate OS processes,
+// as a multi-machine deployment would, then merge the shard files and
+// prove the merged report is byte-identical to a single-process run.
+//
+// Each shard process is a real `fleetsim -shard i/m` invocation (exec'd
+// via `go run`), owning a contiguous slice of the scenario index range.
+// Per-scenario SplitMix64 seeds make every slice independently
+// reproducible, so the processes share nothing but their command line.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	emlrtm "github.com/emlrtm/emlrtm"
+)
+
+const (
+	scenarios = 24
+	seed      = 7
+	shards    = 3
+)
+
+func main() {
+	root := moduleRoot()
+	dir, err := os.MkdirTemp("", "shardedfleet")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Run every shard as its own process, concurrently.
+	paths := make([]string, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("shard%d.json", i+1))
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cmd := exec.Command("go", "run", "./cmd/fleetsim",
+				"-scenarios", fmt.Sprint(scenarios),
+				"-seed", fmt.Sprint(seed),
+				"-shard", fmt.Sprintf("%d/%d", i+1, shards),
+				"-out", paths[i])
+			cmd.Dir = root
+			if out, err := cmd.CombinedOutput(); err != nil {
+				errs[i] = fmt.Errorf("shard %d/%d: %v\n%s", i+1, shards, err, out)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Read the shard files back and merge them.
+	shardResults := make([]emlrtm.FleetShardResult, shards)
+	for i, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		shardResults[i], err = emlrtm.ReadFleetShard(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("shard %d: scenarios [%d,%d) of %d, %d results\n",
+			i+1, shardResults[i].Lo, shardResults[i].Hi,
+			shardResults[i].Total, len(shardResults[i].Results))
+	}
+	merged, _, err := emlrtm.MergeFleetShards(shardResults...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The whole point: the merged report must be byte-identical to a
+	// single-process run of the same fleet.
+	single, _, err := emlrtm.RunFleet(
+		emlrtm.FleetGeneratorConfig{Seed: seed}, scenarios, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mergedJSON, err := json.Marshal(merged)
+	if err != nil {
+		log.Fatal(err)
+	}
+	singleJSON, err := json.Marshal(single)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(mergedJSON, singleJSON) {
+		log.Fatalf("merged report differs from single-process run:\n%s\n%s",
+			mergedJSON, singleJSON)
+	}
+
+	fmt.Printf("\nmerged %d shards == single-process run (byte-identical report)\n", shards)
+	fmt.Printf("fleet of %d scenarios (seed %d): %d frames, %.1f%% missed, %.1f J, p95 %.1f ms\n",
+		merged.Overall.Scenarios, seed, merged.Overall.Frames,
+		100*merged.Overall.MissRate, merged.Overall.EnergyMJ/1000,
+		1000*merged.Overall.P95LatencyS)
+}
+
+// moduleRoot locates the repo so the shard processes can be exec'd from
+// any working directory.
+func moduleRoot() string {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		log.Fatalf("locating module root: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		log.Fatal("run this example from inside the emlrtm module")
+	}
+	return filepath.Dir(gomod)
+}

@@ -5,6 +5,7 @@ package emlrtm
 
 import (
 	"bytes"
+	"encoding/json"
 	"testing"
 )
 
@@ -178,6 +179,50 @@ func TestFacadeGovernorBaseline(t *testing.T) {
 	// frequency to maximum.
 	if info.OPPIndex != len(OdroidXU3().Cluster("a15").OPPs)-1 {
 		t.Fatalf("ondemand left OPP %d", info.OPPIndex)
+	}
+}
+
+func TestFacadeShardedFleet(t *testing.T) {
+	// The distributed-fleet workflow end to end through the facade: run
+	// shards independently, round-trip one through the file encoding,
+	// merge, and match the single-process report byte for byte.
+	cfg := FleetGeneratorConfig{Seed: 21}
+	const total = 6
+	var shards []FleetShardResult
+	for i := 0; i < 2; i++ {
+		s, err := RunFleetShard(cfg, total, i, 2, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteFleetShard(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadFleetShard(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, back)
+	}
+	lo, hi := FleetShardRange(total, 0, 2)
+	if lo != 0 || hi != 3 || shards[0].Lo != lo || shards[0].Hi != hi {
+		t.Fatalf("shard 0 range [%d,%d), want [0,3)", shards[0].Lo, shards[0].Hi)
+	}
+	merged, _, err := MergeFleetShards(shards[1], shards[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, _, err := RunFleet(cfg, total, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mj, _ := json.Marshal(merged)
+	sj, _ := json.Marshal(single)
+	if !bytes.Equal(mj, sj) {
+		t.Fatalf("merged report != single-process report:\n%s\n%s", mj, sj)
+	}
+	if _, _, err := MergeFleetShards(shards[0]); err == nil {
+		t.Fatal("partial coverage accepted")
 	}
 }
 

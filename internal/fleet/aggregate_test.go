@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestPercentileEdgeCases pins the nearest-rank convention
+// (rank = round(n*p), 1-based, clamped) on the boundaries that matter
+// for pooled p95 stats: empty and single-sample inputs, and sample
+// counts where the p=0.95 rank sits exactly on a rounding boundary.
+func TestPercentileEdgeCases(t *testing.T) {
+	// ascending(n) = [1, 2, ..., n], so the k-th smallest is k and the
+	// expected value states the selected rank directly.
+	ascending := func(n int) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = float64(i + 1)
+		}
+		return s
+	}
+	cases := []struct {
+		name    string
+		samples []float64
+		p       float64
+		want    float64
+	}{
+		{"empty", nil, 0.95, 0},
+		{"empty zero-length", []float64{}, 0.5, 0},
+		{"single sample p95", []float64{3.25}, 0.95, 3.25},
+		{"single sample p0", []float64{3.25}, 0, 3.25},
+		{"single sample p1", []float64{3.25}, 1, 3.25},
+		{"p0 clamps to min", ascending(10), 0, 1},
+		{"p1 selects max", ascending(10), 1, 10},
+		// n=10: round(9.5) = 10, so p95 selects the maximum.
+		{"p95 n=10 rounds up to max", ascending(10), 0.95, 10},
+		// n=20: round(19.0) = 19, so p95 leaves the maximum out.
+		{"p95 n=20 leaves headroom", ascending(20), 0.95, 19},
+		{"p95 n=19", ascending(19), 0.95, 18},
+		{"p95 n=21", ascending(21), 0.95, 20},
+		{"p95 n=100", ascending(100), 0.95, 95},
+		{"p50 even count", ascending(4), 0.5, 2},
+		{"p50 odd count", ascending(5), 0.5, 3},
+		{"unsorted input", []float64{9, 1, 5, 7, 3}, 0.5, 5},
+	}
+	for _, tc := range cases {
+		if got := percentile(tc.samples, tc.p); got != tc.want {
+			t.Errorf("%s: percentile(n=%d, p=%g) = %g, want %g",
+				tc.name, len(tc.samples), tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestAggregateAllErrored: a group made entirely of errored scenarios has
+// Frames == 0 and SimSeconds == 0; no rate may divide through to NaN or
+// Inf (json.Marshal would also reject those, breaking every report
+// writer downstream).
+func TestAggregateAllErrored(t *testing.T) {
+	results := []Result{
+		{ID: 0, Class: ClassSteady, Platform: "odroid-xu3", Err: "unknown platform"},
+		{ID: 1, Class: ClassSteady, Platform: "odroid-xu3", Err: "boom"},
+	}
+	rep := Aggregate(3, results)
+	for name, g := range map[string]GroupStats{
+		"overall":  rep.Overall,
+		"platform": rep.ByPlatform["odroid-xu3"],
+		"class":    rep.ByClass[ClassSteady],
+	} {
+		if g.Scenarios != 2 || g.Errors != 2 {
+			t.Errorf("%s: scenarios/errors = %d/%d, want 2/2", name, g.Scenarios, g.Errors)
+		}
+		if g.Frames != 0 {
+			t.Errorf("%s: frames = %d, want 0", name, g.Frames)
+		}
+		for field, v := range map[string]float64{
+			"MissRate": g.MissRate, "MeanLatencyS": g.MeanLatencyS,
+			"P95LatencyS": g.P95LatencyS, "MaxLatencyS": g.MaxLatencyS,
+			"ThermalRate": g.ThermalRate,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("%s: %s = %g with zero frames", name, field, v)
+			}
+			if v != 0 {
+				t.Errorf("%s: %s = %g, want 0 for an all-errored group", name, field, v)
+			}
+		}
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("all-errored report not JSON-encodable: %v", err)
+	}
+}
+
+// TestAggregateMixedErrors: errored scenarios count toward Scenarios and
+// Errors but contribute nothing to frame, energy or latency stats.
+func TestAggregateMixedErrors(t *testing.T) {
+	ok := Result{
+		ID: 0, Class: ClassBursty, Platform: "jetson-nano",
+		Released: 10, Completed: 8, Missed: 2,
+		DurationS: 20, EnergyMJ: 500, OverThrottleS: 1,
+		MaxLatencyS: 3, Latencies: []float64{1, 3},
+	}
+	bad := Result{ID: 1, Class: ClassBursty, Platform: "jetson-nano", Err: "boom",
+		// Junk that must be ignored because the scenario errored.
+		Released: 99, EnergyMJ: 9999, Latencies: []float64{7}}
+	rep := Aggregate(1, []Result{ok, bad})
+	g := rep.Overall
+	if g.Scenarios != 2 || g.Errors != 1 {
+		t.Fatalf("scenarios/errors = %d/%d, want 2/1", g.Scenarios, g.Errors)
+	}
+	if g.Frames != 10 || g.EnergyMJ != 500 {
+		t.Errorf("errored scenario leaked into stats: frames %d, energy %g", g.Frames, g.EnergyMJ)
+	}
+	if g.MissRate != 0.2 {
+		t.Errorf("miss rate = %g, want 0.2", g.MissRate)
+	}
+	if g.MeanLatencyS != 2 || g.MaxLatencyS != 3 {
+		t.Errorf("latency stats = mean %g max %g, want 2/3", g.MeanLatencyS, g.MaxLatencyS)
+	}
+}

@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates golden files instead of comparing against them:
+//
+//	go test ./internal/fleet -run TestGoldenReport -update
+//
+// Only do this after deliberately changing generator/manager/simulator
+// behaviour, and review the golden diff like code.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenReport pins the exact report for one fixed config
+// (seed 1, 32 scenarios, all platforms and classes). Any behavioural
+// drift anywhere in the stack — scenario sampling, the simulator, the
+// manager's planning, aggregation — shows up here as a readable JSON
+// diff instead of silently shifting every downstream experiment.
+func TestGoldenReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 32 scenarios")
+	}
+	rep, _, err := Run(GeneratorConfig{Seed: 1}, 32, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "golden_seed1_n32.json")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("report drifted from %s%s\n(if the change is intended, regenerate with -update and review the diff)",
+			path, firstDiff(want, got))
+	}
+}
+
+// firstDiff locates the first differing line so the failure reads as a
+// diff hunk rather than two multi-kilobyte blobs.
+func firstDiff(want, got []byte) string {
+	wantLines := bytes.Split(want, []byte("\n"))
+	gotLines := bytes.Split(got, []byte("\n"))
+	for i := 0; i < len(wantLines) || i < len(gotLines); i++ {
+		var w, g []byte
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if !bytes.Equal(w, g) {
+			return fmt.Sprintf("\nfirst difference at line %d:\n  golden: %s\n  got:    %s", i+1, w, g)
+		}
+	}
+	return ""
+}

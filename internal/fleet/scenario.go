@@ -64,19 +64,22 @@ type Scenario struct {
 	Script   workload.Scenario
 }
 
-// GeneratorConfig parametrises scenario sampling.
+// GeneratorConfig parametrises scenario sampling. It is JSON-tagged
+// because shard files embed it verbatim: Merge only accepts shards whose
+// configs are identical, since any difference here changes what scenario
+// index i means.
 type GeneratorConfig struct {
 	// Seed is the master seed; all per-scenario seeds derive from it.
-	Seed uint64
+	Seed uint64 `json:"seed"`
 	// Platforms restricts sampling to these hw.Catalog names (nil = all,
 	// in sorted-name order for determinism).
-	Platforms []string
+	Platforms []string `json:"platforms,omitempty"`
 	// Classes restricts sampling to these classes (nil = AllClasses).
-	Classes []Class
+	Classes []Class `json:"classes,omitempty"`
 	// MinDurationS/MaxDurationS bound the sampled simulation horizon.
 	// Defaults: 20 and 40 seconds.
-	MinDurationS float64
-	MaxDurationS float64
+	MinDurationS float64 `json:"minDurationS,omitempty"`
+	MaxDurationS float64 `json:"maxDurationS,omitempty"`
 }
 
 // Generator samples scenarios deterministically.
@@ -138,21 +141,41 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// scenarioSeed derives scenario id's RNG seed from the master seed. It is
+// the determinism anchor of the distributed layer: shard readers recompute
+// it to detect results that were generated under a different master seed.
+func scenarioSeed(master uint64, id int) uint64 {
+	return splitmix64(master + uint64(id)*0x9e3779b97f4a7c15)
+}
+
 // Generate samples n scenarios (n <= 0 yields none). Scenario i depends
 // only on (Seed, i), so prefixes are stable when n grows.
 func (g *Generator) Generate(n int) []Scenario {
-	if n < 0 {
-		n = 0
+	return g.GenerateRange(0, n)
+}
+
+// GenerateRange samples scenarios for the half-open index range [lo, hi).
+// Because scenario i depends only on (Seed, i), a contiguous range is
+// independently reproducible in any process: GenerateRange(lo, hi) equals
+// Generate(hi)[lo:hi] element for element. This is what a shard owns in a
+// multi-process fleet run. Out-of-range bounds clamp (lo < 0 becomes 0;
+// hi <= lo yields none).
+func (g *Generator) GenerateRange(lo, hi int) []Scenario {
+	if lo < 0 {
+		lo = 0
 	}
-	out := make([]Scenario, 0, n)
-	for i := 0; i < n; i++ {
+	if hi < lo {
+		hi = lo
+	}
+	out := make([]Scenario, 0, hi-lo)
+	for i := lo; i < hi; i++ {
 		out = append(out, g.generateOne(i))
 	}
 	return out
 }
 
 func (g *Generator) generateOne(id int) Scenario {
-	seed := splitmix64(g.cfg.Seed + uint64(id)*0x9e3779b97f4a7c15)
+	seed := scenarioSeed(g.cfg.Seed, id)
 	rng := rand.New(rand.NewSource(int64(seed)))
 	class := g.classes[rng.Intn(len(g.classes))]
 	platName := g.platforms[rng.Intn(len(g.platforms))]

@@ -1,0 +1,177 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+)
+
+// ShardFormatVersion is the current shard-file format. ReadShard rejects
+// files written by an incompatible future format instead of merging them
+// silently; bump it whenever the meaning of an existing field changes.
+const ShardFormatVersion = 1
+
+// ShardResult is one process's share of a fleet run: the results for a
+// contiguous scenario index range [Lo, Hi) of a Total-scenario fleet,
+// plus the exact generator config that defines what those indices mean.
+// It is the unit of the distributed-fleet layer — each shard is written
+// by an independent process and later combined with Merge, which can
+// only be trusted because the header carries everything needed to prove
+// the shards describe the same fleet.
+type ShardResult struct {
+	FormatVersion int             `json:"formatVersion"`
+	Config        GeneratorConfig `json:"config"`
+	Total         int             `json:"total"`
+	Lo            int             `json:"lo"`
+	Hi            int             `json:"hi"` // exclusive
+	Results       []Result        `json:"results"`
+}
+
+// Validate checks internal consistency: format version, range bounds,
+// one result per owned index in ascending ID order, and — the actual
+// determinism guarantee — that every result's recorded seed matches the
+// seed GenerateRange would derive for that ID under Config.Seed, so a
+// shard generated under a different master seed cannot slip in.
+func (s ShardResult) Validate() error {
+	if s.FormatVersion != ShardFormatVersion {
+		return fmt.Errorf("fleet: shard format version %d, want %d", s.FormatVersion, ShardFormatVersion)
+	}
+	if s.Total <= 0 {
+		return fmt.Errorf("fleet: shard total %d must be positive", s.Total)
+	}
+	if s.Lo < 0 || s.Hi < s.Lo || s.Hi > s.Total {
+		return fmt.Errorf("fleet: shard range [%d,%d) outside fleet [0,%d)", s.Lo, s.Hi, s.Total)
+	}
+	if len(s.Results) != s.Hi-s.Lo {
+		return fmt.Errorf("fleet: shard [%d,%d) carries %d results, want %d", s.Lo, s.Hi, len(s.Results), s.Hi-s.Lo)
+	}
+	for i, r := range s.Results {
+		id := s.Lo + i
+		if r.ID != id {
+			return fmt.Errorf("fleet: shard [%d,%d) result %d has ID %d, want %d (results must be in scenario order)", s.Lo, s.Hi, i, r.ID, id)
+		}
+		if want := scenarioSeed(s.Config.Seed, id); r.Seed != want {
+			return fmt.Errorf("fleet: scenario %d seed %d does not derive from master seed %d (want %d); shard was generated under a different seed", id, r.Seed, s.Config.Seed, want)
+		}
+	}
+	return nil
+}
+
+// ShardRange returns the half-open index range [lo, hi) owned by shard
+// index (0-based) of count over a total-scenario fleet. Ranges are
+// contiguous, cover [0, total) exactly, and differ in size by at most
+// one, so any shard count partitions the same fleet.
+func ShardRange(total, index, count int) (lo, hi int) {
+	return index * total / count, (index + 1) * total / count
+}
+
+// RunShard generates and runs shard index (0-based) of count over a
+// total-scenario fleet. The returned ShardResult is ready to write with
+// WriteShard and merge with Merge; running every shard and merging is
+// byte-identical to a single-process Run over the same config and total.
+func RunShard(cfg GeneratorConfig, total, index, count, workers int) (ShardResult, error) {
+	return (&Runner{Workers: workers}).RunShard(cfg, total, index, count)
+}
+
+// RunShard is RunShard with the caller's Runner, so pool size and the
+// Progress callback carry over. It is the single place a ShardResult is
+// assembled: every writer fills the same header the same way.
+func (r *Runner) RunShard(cfg GeneratorConfig, total, index, count int) (ShardResult, error) {
+	if total <= 0 {
+		return ShardResult{}, fmt.Errorf("fleet: scenario count %d must be positive", total)
+	}
+	if count < 1 || index < 0 || index >= count {
+		return ShardResult{}, fmt.Errorf("fleet: shard index %d of %d out of range", index, count)
+	}
+	gen, err := NewGenerator(cfg)
+	if err != nil {
+		return ShardResult{}, err
+	}
+	lo, hi := ShardRange(total, index, count)
+	return ShardResult{
+		FormatVersion: ShardFormatVersion,
+		Config:        cfg,
+		Total:         total,
+		Lo:            lo,
+		Hi:            hi,
+		Results:       r.Run(gen.GenerateRange(lo, hi)),
+	}, nil
+}
+
+// WriteShard validates the shard and writes it as indented JSON. Result
+// float fields (including the raw Latencies samples that Aggregate pools
+// for percentiles) are encoded with Go's shortest-round-trip formatting,
+// so a written-then-read shard is bit-identical to the in-memory one.
+func WriteShard(w io.Writer, s ShardResult) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadShard decodes and validates one shard file. Validation on read
+// means a merge fails at the offending file with a seed/range/version
+// message, not downstream with a silently wrong report.
+func ReadShard(r io.Reader) (ShardResult, error) {
+	var s ShardResult
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return ShardResult{}, fmt.Errorf("fleet: decoding shard: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return ShardResult{}, err
+	}
+	return s, nil
+}
+
+// Merge combines shard results into the fleet report. It requires full
+// coverage — every scenario index in [0, Total) owned by exactly one
+// shard, all shards generated under an identical config — then restores
+// scenario-ID order and reuses Aggregate, so the merged report is
+// byte-identical (via JSON) to a single-process run of the same fleet.
+// Shard argument order does not matter.
+func Merge(shards ...ShardResult) (Report, []Result, error) {
+	if len(shards) == 0 {
+		return Report{}, nil, fmt.Errorf("fleet: no shards to merge")
+	}
+	ordered := append([]ShardResult(nil), shards...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Lo < ordered[j].Lo })
+
+	first := ordered[0]
+	for _, s := range ordered {
+		if err := s.Validate(); err != nil {
+			return Report{}, nil, err
+		}
+		if s.Config.Seed != first.Config.Seed {
+			return Report{}, nil, fmt.Errorf("fleet: shard seed mismatch: shard [%d,%d) has seed %d, shard [%d,%d) has seed %d",
+				first.Lo, first.Hi, first.Config.Seed, s.Lo, s.Hi, s.Config.Seed)
+		}
+		if !reflect.DeepEqual(s.Config, first.Config) {
+			return Report{}, nil, fmt.Errorf("fleet: shard config mismatch: shard [%d,%d) was generated with %+v, shard [%d,%d) with %+v",
+				first.Lo, first.Hi, first.Config, s.Lo, s.Hi, s.Config)
+		}
+		if s.Total != first.Total {
+			return Report{}, nil, fmt.Errorf("fleet: shard fleet-size mismatch: %d vs %d scenarios", first.Total, s.Total)
+		}
+	}
+
+	results := make([]Result, 0, first.Total)
+	next := 0
+	for _, s := range ordered {
+		switch {
+		case s.Lo > next:
+			return Report{}, nil, fmt.Errorf("fleet: coverage gap: scenarios [%d,%d) missing from the merged shards", next, s.Lo)
+		case s.Lo < next:
+			return Report{}, nil, fmt.Errorf("fleet: coverage overlap: scenarios [%d,%d) appear in more than one shard", s.Lo, min(next, s.Hi))
+		}
+		results = append(results, s.Results...)
+		next = s.Hi
+	}
+	if next != first.Total {
+		return Report{}, nil, fmt.Errorf("fleet: coverage gap: scenarios [%d,%d) missing from the merged shards", next, first.Total)
+	}
+	return Aggregate(first.Config.Seed, results), results, nil
+}
