@@ -1,26 +1,33 @@
 // Command fleetsim runs a fleet of generated scenarios — many independent
 // simulator + runtime-manager instances — across a worker pool and reports
 // aggregate quality-of-service, energy and thermal statistics broken down
-// by platform and scenario class.
+// by platform, scenario class and planning policy.
 //
 // The same seed yields a byte-identical report for any -workers value:
 // scenario generation and execution are deterministic, and aggregation is
 // order-stable.
 //
+// -policies sweeps several runtime-manager planning policies over the
+// *same* sampled workloads (-scenarios counts workloads; total runs are
+// scenarios × policies), and the report gains per-policy rows:
+//
+//	fleetsim -scenarios 64 -seed 1 -policies heuristic,maxaccuracy,minenergy -format table
+//
 // A fleet can also be split across processes or machines. -shard i/m runs
 // only the i-th (1-based) contiguous slice of the scenario range and
-// writes a shard file; "fleetsim merge" validates and combines shard
-// files into a report byte-identical to the single-process run:
+// writes a shard file (gzip-compressed when -out ends in .gz); "fleetsim
+// merge" validates and combines shard files into a report byte-identical
+// to the single-process run:
 //
-//	fleetsim -scenarios 64 -seed 1 -shard 1/2 -out shard1.json
-//	fleetsim -scenarios 64 -seed 1 -shard 2/2 -out shard2.json
-//	fleetsim merge shard1.json shard2.json
+//	fleetsim -scenarios 64 -seed 1 -shard 1/2 -out shard1.json.gz
+//	fleetsim -scenarios 64 -seed 1 -shard 2/2 -out shard2.json.gz
+//	fleetsim merge shard1.json.gz shard2.json.gz
 //
 // Usage:
 //
 //	fleetsim [-scenarios 64] [-seed 1] [-workers N] [-platforms a,b]
-//	         [-classes steady,thermal] [-format json|table] [-results]
-//	         [-shard i/m] [-out file]
+//	         [-classes steady,thermal] [-policy name | -policies a,b]
+//	         [-format json|table] [-results] [-shard i/m] [-out file]
 //	fleetsim merge [-format json|table] [-results] [-out file] shard.json...
 package main
 
@@ -53,6 +60,8 @@ func runMain() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
 	platforms := flag.String("platforms", "", "comma-separated platform names (empty = all)")
 	classes := flag.String("classes", "", "comma-separated scenario classes (empty = all)")
+	policy := flag.String("policy", "", "runtime-manager planning policy (empty = heuristic)")
+	policies := flag.String("policies", "", "comma-separated policies to sweep over the same workloads (total runs = scenarios × policies)")
 	format := flag.String("format", "json", "output format: json or table")
 	results := flag.Bool("results", false, "include per-scenario results (json format)")
 	progress := flag.Bool("progress", false, "print progress to stderr")
@@ -77,7 +86,22 @@ func runMain() {
 			cfg.Classes = append(cfg.Classes, fleet.Class(c))
 		}
 	}
+	if *policy != "" && *policies != "" {
+		log.Fatalf("fleetsim: -policy and -policies are mutually exclusive")
+	}
+	if *policy != "" {
+		cfg.Policies = []string{*policy}
+	}
+	if *policies != "" {
+		cfg.Policies = strings.Split(*policies, ",")
+	}
 	shardIdx, shardCount, err := parseShard(*shard)
+	if err != nil {
+		log.Fatalf("fleetsim: %v", err)
+	}
+	// NewGenerator validates platforms, classes and policies: a typo in a
+	// sweep spec must fail here, not after minutes of fleet execution.
+	gen, err := fleet.NewGenerator(cfg)
 	if err != nil {
 		log.Fatalf("fleetsim: %v", err)
 	}
@@ -96,15 +120,18 @@ func runMain() {
 		if err != nil {
 			log.Fatalf("fleetsim: %v", err)
 		}
+		if *out != "" {
+			// Via the path-aware writer so "-out shard.json.gz" compresses.
+			if err := fleet.WriteShardFile(*out, res); err != nil {
+				log.Fatalf("fleetsim: %v", err)
+			}
+			return
+		}
 		writeOutput(*out, func(w io.Writer) error { return fleet.WriteShard(w, res) })
 		return
 	}
 
-	gen, err := fleet.NewGenerator(cfg)
-	if err != nil {
-		log.Fatalf("fleetsim: %v", err)
-	}
-	scens := gen.Generate(*scenarios)
+	scens := gen.Generate(gen.RunCount(*scenarios))
 	runner := &fleet.Runner{Workers: *workers}
 	if *progress {
 		runner.Progress = progressFunc()
@@ -138,12 +165,7 @@ func mergeMain(args []string) {
 	}
 	shards := make([]fleet.ShardResult, 0, fs.NArg())
 	for _, path := range fs.Args() {
-		f, err := os.Open(path)
-		if err != nil {
-			log.Fatalf("fleetsim merge: %v", err)
-		}
-		s, err := fleet.ReadShard(f)
-		f.Close()
+		s, err := fleet.ReadShardFile(path)
 		if err != nil {
 			log.Fatalf("fleetsim merge: %s: %v", path, err)
 		}
@@ -253,6 +275,9 @@ func printTables(w io.Writer, rep fleet.Report) error {
 	sort.Strings(classes)
 	for _, c := range classes {
 		addRow("class:"+c, rep.ByClass[fleet.Class(c)])
+	}
+	for _, name := range sortedKeys(rep.ByPolicy) {
+		addRow("policy:"+name, rep.ByPolicy[name])
 	}
 	_, err := t.WriteTo(w)
 	return err

@@ -159,17 +159,41 @@ type (
 	// Event is an observable simulator event.
 	Event = sim.Event
 
-	// Manager is the paper's runtime resource manager (Fig 5).
+	// Manager is the paper's runtime resource manager (Fig 5): the
+	// actuation shell around a pluggable planning Policy.
 	Manager = rtm.Manager
 	// Requirement is an application's demands on the manager.
 	Requirement = rtm.Requirement
 	// Registry is the knob/monitor namespace of the Fig 5 architecture.
 	Registry = rtm.Registry
+	// Policy is a pluggable planning strategy: a pure function from a
+	// read-only View to one Assignment per running DNN.
+	Policy = rtm.Policy
+	// View is the read-only system snapshot a Policy plans over.
+	View = rtm.View
+	// Assignment is one planned operating point for an app.
+	Assignment = rtm.Assignment
 	// Governor is a conventional DVFS policy (baseline).
 	Governor = rtm.Governor
 	// Scenario is a scripted workload timeline.
 	Scenario = workload.Scenario
 )
+
+// DefaultPolicy is the planning policy NewManager installs (the paper's
+// heuristic) and the name the empty string resolves to.
+const DefaultPolicy = rtm.DefaultPolicy
+
+// RegisterPolicy adds a planning-policy factory to the registry; the name
+// then works everywhere — Manager.SetPolicy via NewPolicy, fleet sweeps,
+// fleetsim -policies. It panics on duplicate or empty names.
+func RegisterPolicy(name string, factory func() Policy) { rtm.Register(name, factory) }
+
+// Policies lists all registered planning-policy names, sorted.
+func Policies() []string { return rtm.Policies() }
+
+// NewPolicy instantiates a registered planning policy by name ("" =
+// DefaultPolicy).
+func NewPolicy(name string) (Policy, error) { return rtm.NewPolicy(name) }
 
 // Workload kind constants re-exported for App construction.
 const (
@@ -249,9 +273,10 @@ func AggregateFleet(seed uint64, results []FleetResult) FleetReport {
 	return fleet.Aggregate(seed, results)
 }
 
-// RunFleet generates n scenarios, runs them across the worker pool
-// (workers <= 0 means NumCPU) and aggregates. The report is bit-identical
-// for any worker count.
+// RunFleet generates n workloads, runs each under every policy in
+// cfg.Policies (default: just the heuristic) across the worker pool
+// (workers <= 0 means NumCPU) and aggregates; sweeps gain a ByPolicy
+// breakdown. The report is bit-identical for any worker count.
 func RunFleet(cfg FleetGeneratorConfig, n, workers int) (FleetReport, []FleetResult, error) {
 	return fleet.Run(cfg, n, workers)
 }
@@ -274,10 +299,23 @@ func WriteFleetShard(w io.Writer, s FleetShardResult) error {
 	return fleet.WriteShard(w, s)
 }
 
-// ReadFleetShard decodes one shard file, validating the format version,
-// index range and per-scenario seed derivation.
+// ReadFleetShard decodes one shard file — plain or gzipped, sniffed by
+// magic number — validating the format version, index range, per-scenario
+// seed derivation and policy assignment.
 func ReadFleetShard(r io.Reader) (FleetShardResult, error) {
 	return fleet.ReadShard(r)
+}
+
+// WriteFleetShardFile writes a shard to path, gzip-compressed when the
+// path ends in ".gz".
+func WriteFleetShardFile(path string, s FleetShardResult) error {
+	return fleet.WriteShardFile(path, s)
+}
+
+// ReadFleetShardFile reads and validates one shard file from disk, plain
+// or gzipped.
+func ReadFleetShardFile(path string) (FleetShardResult, error) {
+	return fleet.ReadShardFile(path)
 }
 
 // MergeFleetShards combines shards covering a whole fleet — rejecting

@@ -226,6 +226,66 @@ func TestFacadeShardedFleet(t *testing.T) {
 	}
 }
 
+func TestFacadePolicySweep(t *testing.T) {
+	names := Policies()
+	if len(names) < 3 {
+		t.Fatalf("Policies() = %v, want the three built-ins", names)
+	}
+	if _, err := NewPolicy("definitely-not-registered"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	p, err := NewPolicy("")
+	if err != nil || p.Name() != DefaultPolicy {
+		t.Fatalf("NewPolicy(\"\") = %v, %v", p, err)
+	}
+
+	// A custom policy registered through the facade is sweepable by name.
+	RegisterPolicy("facade-test-custom", func() Policy { return facadeCustomPolicy{} })
+	rep, results, err := RunFleet(FleetGeneratorConfig{
+		Seed:      6,
+		Platforms: []string{"odroid-xu3"},
+		Classes:   []FleetClass{"steady"},
+		Policies:  []string{"heuristic", "facade-test-custom"},
+	}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.ByPolicy) != 2 {
+		t.Fatalf("ByPolicy = %v, want heuristic + custom", rep.ByPolicy)
+	}
+	if _, ok := rep.ByPolicy["facade-test-custom"]; !ok {
+		t.Fatal("custom policy missing from the sweep report")
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 2 workloads × 2 policies", len(results))
+	}
+	for _, r := range results {
+		if r.Err != "" {
+			t.Errorf("%s/%s: %s", r.Name, r.Policy, r.Err)
+		}
+	}
+
+	// Manager accepts a swapped-in policy.
+	mgr := NewManager(nil)
+	mgr.SetPolicy(p)
+	if mgr.PolicyName() != DefaultPolicy {
+		t.Fatalf("manager policy %q", mgr.PolicyName())
+	}
+}
+
+// facadeCustomPolicy proves third-party strategies slot in: it delegates
+// planning to the built-in minenergy policy under its own name.
+type facadeCustomPolicy struct{}
+
+func (facadeCustomPolicy) Name() string { return "facade-test-custom" }
+func (facadeCustomPolicy) Plan(v View) []Assignment {
+	p, err := NewPolicy("minenergy")
+	if err != nil {
+		return nil
+	}
+	return p.Plan(v)
+}
+
 func TestFacadeBaselines(t *testing.T) {
 	prof := PaperReferenceProfile()
 	set := BuildStaticSet(OdroidXU3(), prof, 0.25)

@@ -30,14 +30,18 @@ type GroupStats struct {
 	OPPSwitches int `json:"oppSwitches"`
 }
 
-// Report is the aggregate outcome of a fleet run, broken down by platform
-// and scenario class. Maps marshal with sorted keys, so the JSON encoding
-// is deterministic.
+// Report is the aggregate outcome of a fleet run, broken down by platform,
+// scenario class and — when the fleet sweeps more than one planning policy
+// — by policy. ByPolicy is omitted for single-policy fleets, where it
+// would duplicate Overall row for row (this also keeps single-policy
+// reports byte-identical to the pre-sweep format). Maps marshal with
+// sorted keys, so the JSON encoding is deterministic.
 type Report struct {
 	Seed       uint64                `json:"seed"`
 	Overall    GroupStats            `json:"overall"`
 	ByPlatform map[string]GroupStats `json:"byPlatform"`
 	ByClass    map[Class]GroupStats  `json:"byClass"`
+	ByPolicy   map[string]GroupStats `json:"byPolicy,omitempty"`
 }
 
 // group accumulates results before finalisation.
@@ -96,6 +100,7 @@ func Aggregate(seed uint64, results []Result) Report {
 	overall := &group{}
 	byPlat := map[string]*group{}
 	byClass := map[Class]*group{}
+	byPol := map[string]*group{}
 	for _, r := range results {
 		overall.add(r)
 		if byPlat[r.Platform] == nil {
@@ -106,6 +111,10 @@ func Aggregate(seed uint64, results []Result) Report {
 			byClass[r.Class] = &group{}
 		}
 		byClass[r.Class].add(r)
+		if byPol[r.Policy] == nil {
+			byPol[r.Policy] = &group{}
+		}
+		byPol[r.Policy].add(r)
 	}
 	rep := Report{
 		Seed:       seed,
@@ -119,11 +128,20 @@ func Aggregate(seed uint64, results []Result) Report {
 	for class, g := range byClass {
 		rep.ByClass[class] = g.finalise()
 	}
+	// A policy breakdown of a single-policy fleet would repeat Overall;
+	// only sweeps get one.
+	if len(byPol) > 1 {
+		rep.ByPolicy = map[string]GroupStats{}
+		for name, g := range byPol {
+			rep.ByPolicy[name] = g.finalise()
+		}
+	}
 	return rep
 }
 
-// Run is the one-call entry point: generate n scenarios from the config,
-// run them across the pool, and aggregate.
+// Run is the one-call entry point: generate n workloads from the config,
+// run each under every configured policy across the pool, and aggregate
+// (n workloads × P policies scenario runs in total).
 func Run(cfg GeneratorConfig, n, workers int) (Report, []Result, error) {
 	if n <= 0 {
 		return Report{}, nil, fmt.Errorf("fleet: scenario count %d must be positive", n)
@@ -132,7 +150,7 @@ func Run(cfg GeneratorConfig, n, workers int) (Report, []Result, error) {
 	if err != nil {
 		return Report{}, nil, err
 	}
-	scenarios := gen.Generate(n)
+	scenarios := gen.Generate(gen.RunCount(n))
 	runner := &Runner{Workers: workers}
 	results := runner.Run(scenarios)
 	return Aggregate(cfg.Seed, results), results, nil

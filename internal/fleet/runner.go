@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"github.com/emlrtm/emlrtm/internal/hw"
+	"github.com/emlrtm/emlrtm/internal/rtm"
 	"github.com/emlrtm/emlrtm/internal/sim"
 	"github.com/emlrtm/emlrtm/internal/workload"
 )
@@ -22,6 +23,7 @@ type Result struct {
 	Name     string `json:"name"`
 	Class    Class  `json:"class"`
 	Platform string `json:"platform"`
+	Policy   string `json:"policy"`
 	Seed     uint64 `json:"seed"`
 	Err      string `json:"err,omitempty"`
 
@@ -58,19 +60,28 @@ const TickS = 0.25
 // of the scenario (fresh platform, fresh manager, no logging), which is
 // what makes fleet results independent of scheduling.
 func RunOne(s Scenario) Result {
+	script := s.Script
+	if script.Policy == "" {
+		// Hand-built scenarios may set only the outer Policy field.
+		script.Policy = s.Policy
+	}
 	res := Result{
 		ID:       s.ID,
-		Name:     s.Script.Name,
+		Name:     script.Name,
 		Class:    s.Class,
 		Platform: s.Platform,
+		Policy:   script.Policy,
 		Seed:     s.Seed,
+	}
+	if res.Policy == "" {
+		res.Policy = rtm.DefaultPolicy
 	}
 	plat := hw.Catalog()[s.Platform]
 	if plat == nil {
 		res.Err = fmt.Sprintf("unknown platform %q", s.Platform)
 		return res
 	}
-	_, mgr, rep, err := workload.Run(s.Script, plat, TickS, nil)
+	_, mgr, rep, err := workload.Run(script, plat, TickS, nil)
 	if err != nil {
 		res.Err = err.Error()
 		return res

@@ -55,12 +55,16 @@ func AllClasses() []Class {
 }
 
 // Scenario is one generated fleet member: a scripted workload bound to a
-// named catalog platform.
+// named catalog platform, run under a named planning policy. When the
+// generator sweeps several policies, consecutive scenario IDs share one
+// workload (same Seed, Class, Platform, Script) and differ only in
+// Policy, so per-policy aggregates compare strategies on identical work.
 type Scenario struct {
 	ID       int
 	Seed     uint64
 	Class    Class
 	Platform string // hw.Catalog key
+	Policy   string // rtm policy registry key
 	Script   workload.Scenario
 }
 
@@ -80,6 +84,12 @@ type GeneratorConfig struct {
 	// Defaults: 20 and 40 seconds.
 	MinDurationS float64 `json:"minDurationS,omitempty"`
 	MaxDurationS float64 `json:"maxDurationS,omitempty"`
+	// Policies lists the rtm planning policies to sweep (nil = just the
+	// default heuristic). With P policies, run index i carries workload
+	// i/P under policy i%P: each sampled workload is evaluated under
+	// every policy, back to back in the index space, so any contiguous
+	// shard split keeps the sweep balanced.
+	Policies []string `json:"policies,omitempty"`
 }
 
 // Generator samples scenarios deterministically.
@@ -87,6 +97,7 @@ type Generator struct {
 	cfg       GeneratorConfig
 	platforms []string
 	classes   []Class
+	policies  []string
 }
 
 // NewGenerator validates the config against the platform catalog.
@@ -129,8 +140,56 @@ func NewGenerator(cfg GeneratorConfig) (*Generator, error) {
 		}
 		g.classes = cfg.Classes
 	}
+	pols, err := resolvePolicies(cfg.Policies)
+	if err != nil {
+		return nil, err
+	}
+	g.policies = pols
 	return g, nil
 }
+
+// resolvePolicies validates a policy list against the rtm registry and
+// applies the default. Duplicates are rejected: they would silently run
+// the same strategy twice and skew per-policy aggregates.
+func resolvePolicies(names []string) ([]string, error) {
+	if len(names) == 0 {
+		return []string{rtm.DefaultPolicy}, nil
+	}
+	seen := map[string]bool{}
+	out := make([]string, 0, len(names))
+	for _, name := range names {
+		if _, err := rtm.NewPolicy(name); err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		if name == "" {
+			name = rtm.DefaultPolicy
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("fleet: policy %q listed twice", name)
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	return out, nil
+}
+
+// normalized returns the config with Policies resolved to its canonical
+// form (nil and [""] become ["heuristic"]), so configs that mean the same
+// fleet compare equal — a shard run with the default policy implicit must
+// merge with one where it was spelled out.
+func (c GeneratorConfig) normalized() GeneratorConfig {
+	if pols, err := resolvePolicies(c.Policies); err == nil {
+		c.Policies = pols
+	}
+	return c
+}
+
+// Policies returns the resolved policy sweep list.
+func (g *Generator) Policies() []string { return append([]string(nil), g.policies...) }
+
+// RunCount converts a workload count into a run count: every sampled
+// workload is run once per swept policy.
+func (g *Generator) RunCount(workloads int) int { return workloads * len(g.policies) }
 
 // splitmix64 is the standard SplitMix64 output step; it turns the master
 // seed and a scenario index into a well-mixed per-scenario seed.
@@ -175,7 +234,13 @@ func (g *Generator) GenerateRange(lo, hi int) []Scenario {
 }
 
 func (g *Generator) generateOne(id int) Scenario {
-	seed := scenarioSeed(g.cfg.Seed, id)
+	// With P swept policies, run id carries workload id/P under policy
+	// id%P: the workload RNG seeds off the *workload* index, so the same
+	// script is regenerated bit-identically for every policy it runs
+	// under — that is what makes per-policy aggregates comparable.
+	wl := id / len(g.policies)
+	policy := g.policies[id%len(g.policies)]
+	seed := scenarioSeed(g.cfg.Seed, wl)
 	rng := rand.New(rand.NewSource(int64(seed)))
 	class := g.classes[rng.Intn(len(g.classes))]
 	platName := g.platforms[rng.Intn(len(g.platforms))]
@@ -186,9 +251,11 @@ func (g *Generator) generateOne(id int) Scenario {
 		Seed:     seed,
 		Class:    class,
 		Platform: platName,
+		Policy:   policy,
 	}
 	s.Script = g.script(rng, class, plat)
-	s.Script.Name = fmt.Sprintf("%s-%s-%04d", class, platName, id)
+	s.Script.Name = fmt.Sprintf("%s-%s-%04d", class, platName, wl)
+	s.Script.Policy = policy
 	return s
 }
 

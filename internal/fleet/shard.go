@@ -1,17 +1,29 @@
 package fleet
 
 import (
+	"bufio"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"reflect"
 	"sort"
+	"strings"
 )
 
 // ShardFormatVersion is the current shard-file format. ReadShard rejects
-// files written by an incompatible future format instead of merging them
+// files written by an incompatible format instead of merging them
 // silently; bump it whenever the meaning of an existing field changes.
-const ShardFormatVersion = 1
+//
+// Version history:
+//
+//	1: initial format.
+//	2: policy sweeps — Config may carry Policies, every Result records its
+//	   Policy, and with P policies run index i means workload i/P under
+//	   policy i%P (so v1 files, whose IDs meant workloads directly, cannot
+//	   be merged with v2 sweeps).
+const ShardFormatVersion = 2
 
 // ShardResult is one process's share of a fleet run: the results for a
 // contiguous scenario index range [Lo, Hi) of a Total-scenario fleet,
@@ -32,8 +44,10 @@ type ShardResult struct {
 // Validate checks internal consistency: format version, range bounds,
 // one result per owned index in ascending ID order, and — the actual
 // determinism guarantee — that every result's recorded seed matches the
-// seed GenerateRange would derive for that ID under Config.Seed, so a
-// shard generated under a different master seed cannot slip in.
+// seed GenerateRange would derive for that ID's workload under
+// Config.Seed, and that its recorded policy is the one the sweep assigns
+// to that ID. A shard generated under a different master seed or policy
+// list cannot slip in.
 func (s ShardResult) Validate() error {
 	if s.FormatVersion != ShardFormatVersion {
 		return fmt.Errorf("fleet: shard format version %d, want %d", s.FormatVersion, ShardFormatVersion)
@@ -47,13 +61,20 @@ func (s ShardResult) Validate() error {
 	if len(s.Results) != s.Hi-s.Lo {
 		return fmt.Errorf("fleet: shard [%d,%d) carries %d results, want %d", s.Lo, s.Hi, len(s.Results), s.Hi-s.Lo)
 	}
+	pols, err := resolvePolicies(s.Config.Policies)
+	if err != nil {
+		return err
+	}
 	for i, r := range s.Results {
 		id := s.Lo + i
 		if r.ID != id {
 			return fmt.Errorf("fleet: shard [%d,%d) result %d has ID %d, want %d (results must be in scenario order)", s.Lo, s.Hi, i, r.ID, id)
 		}
-		if want := scenarioSeed(s.Config.Seed, id); r.Seed != want {
+		if want := scenarioSeed(s.Config.Seed, id/len(pols)); r.Seed != want {
 			return fmt.Errorf("fleet: scenario %d seed %d does not derive from master seed %d (want %d); shard was generated under a different seed", id, r.Seed, s.Config.Seed, want)
+		}
+		if want := pols[id%len(pols)]; r.Policy != want {
+			return fmt.Errorf("fleet: scenario %d ran policy %q, want %q under the configured sweep %v; shard was generated under a different policy list", id, r.Policy, want, pols)
 		}
 	}
 	return nil
@@ -67,10 +88,11 @@ func ShardRange(total, index, count int) (lo, hi int) {
 	return index * total / count, (index + 1) * total / count
 }
 
-// RunShard generates and runs shard index (0-based) of count over a
-// total-scenario fleet. The returned ShardResult is ready to write with
-// WriteShard and merge with Merge; running every shard and merging is
-// byte-identical to a single-process Run over the same config and total.
+// RunShard generates and runs shard index (0-based) of count over a fleet
+// of total workloads (total × P scenario runs when the config sweeps P
+// policies). The returned ShardResult is ready to write with WriteShard
+// and merge with Merge; running every shard and merging is byte-identical
+// to a single-process Run over the same config and total.
 func RunShard(cfg GeneratorConfig, total, index, count, workers int) (ShardResult, error) {
 	return (&Runner{Workers: workers}).RunShard(cfg, total, index, count)
 }
@@ -89,11 +111,12 @@ func (r *Runner) RunShard(cfg GeneratorConfig, total, index, count int) (ShardRe
 	if err != nil {
 		return ShardResult{}, err
 	}
-	lo, hi := ShardRange(total, index, count)
+	runs := gen.RunCount(total)
+	lo, hi := ShardRange(runs, index, count)
 	return ShardResult{
 		FormatVersion: ShardFormatVersion,
 		Config:        cfg,
-		Total:         total,
+		Total:         runs,
 		Lo:            lo,
 		Hi:            hi,
 		Results:       r.Run(gen.GenerateRange(lo, hi)),
@@ -113,18 +136,65 @@ func WriteShard(w io.Writer, s ShardResult) error {
 	return enc.Encode(s)
 }
 
-// ReadShard decodes and validates one shard file. Validation on read
-// means a merge fails at the offending file with a seed/range/version
-// message, not downstream with a silently wrong report.
+// ReadShard decodes and validates one shard file, transparently
+// decompressing gzip input (sniffed by magic number, so readers need not
+// know how a shard was written). Validation on read means a merge fails
+// at the offending file with a seed/range/version message, not downstream
+// with a silently wrong report.
 func ReadShard(r io.Reader) (ShardResult, error) {
+	br := bufio.NewReader(r)
+	src := io.Reader(br)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return ShardResult{}, fmt.Errorf("fleet: decompressing shard: %w", err)
+		}
+		defer zr.Close()
+		src = zr
+	}
 	var s ShardResult
-	if err := json.NewDecoder(r).Decode(&s); err != nil {
+	if err := json.NewDecoder(src).Decode(&s); err != nil {
 		return ShardResult{}, fmt.Errorf("fleet: decoding shard: %w", err)
 	}
 	if err := s.Validate(); err != nil {
 		return ShardResult{}, err
 	}
 	return s, nil
+}
+
+// WriteShardFile writes a shard to path, gzip-compressed when the path
+// ends in ".gz" (raw Latencies samples dominate shard bytes and compress
+// several-fold). ReadShardFile — or any ReadShard — accepts either form.
+func WriteShardFile(path string, s ShardResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".gz") {
+		zw := gzip.NewWriter(f)
+		werr = WriteShard(zw, s)
+		if cerr := zw.Close(); werr == nil {
+			werr = cerr
+		}
+	} else {
+		werr = WriteShard(f, s)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// ReadShardFile reads and validates one shard file from disk, plain or
+// gzipped.
+func ReadShardFile(path string) (ShardResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ShardResult{}, err
+	}
+	defer f.Close()
+	return ReadShard(f)
 }
 
 // Merge combines shard results into the fleet report. It requires full
@@ -149,7 +219,7 @@ func Merge(shards ...ShardResult) (Report, []Result, error) {
 			return Report{}, nil, fmt.Errorf("fleet: shard seed mismatch: shard [%d,%d) has seed %d, shard [%d,%d) has seed %d",
 				first.Lo, first.Hi, first.Config.Seed, s.Lo, s.Hi, s.Config.Seed)
 		}
-		if !reflect.DeepEqual(s.Config, first.Config) {
+		if !reflect.DeepEqual(s.Config.normalized(), first.Config.normalized()) {
 			return Report{}, nil, fmt.Errorf("fleet: shard config mismatch: shard [%d,%d) was generated with %+v, shard [%d,%d) with %+v",
 				first.Lo, first.Hi, first.Config, s.Lo, s.Hi, s.Config)
 		}

@@ -168,6 +168,7 @@ func fakeShard(cfg GeneratorConfig, total, lo, hi int) ShardResult {
 			Seed:     scenarioSeed(cfg.Seed, id),
 			Class:    ClassSteady,
 			Platform: "odroid-xu3",
+			Policy:   "heuristic",
 		})
 	}
 	return ShardResult{

@@ -1,0 +1,111 @@
+package rtm
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/emlrtm/emlrtm/internal/hw"
+	"github.com/emlrtm/emlrtm/internal/perf"
+	"github.com/emlrtm/emlrtm/internal/sim"
+)
+
+// mobileProfile mirrors workload.MobileProfile (which cannot be imported
+// from an in-package rtm test without a cycle): the 7 MMAC mobile-vision
+// dynamic DNN the Fig 2 scenario runs.
+func mobileProfile() perf.ModelProfile {
+	return perf.UniformProfile("dnn-mobile", 7_000_000, 7<<20,
+		perf.PaperAccuracies, []float64{0.61, 0.68, 0.74, 0.78})
+}
+
+// benchView builds a realistic planning input: the flagship SoC hosting
+// three DNN streams, a render app and background load, captured after a
+// short warm-up so placements and thermal state are non-trivial. The
+// policy seam makes this possible without a live engine in the loop:
+// Plan(View) is a pure function, so the benchmark measures planner cost
+// alone — the number that bounds how often a real manager can replan.
+func benchView(tb testing.TB) View {
+	prof := mobileProfile()
+	apps := []sim.App{
+		{Name: "dnn1", Kind: sim.KindDNN, Profile: prof, Level: 4, PeriodS: 0.040,
+			ModelBytes: 7 << 20, Placement: sim.Placement{Cluster: "npu"}},
+		{Name: "dnn2", Kind: sim.KindDNN, Profile: prof, Level: 4, PeriodS: 1.0 / 60,
+			ModelBytes: 7 << 20, Placement: sim.Placement{Cluster: "cpu-big", Cores: 4}},
+		{Name: "dnn3", Kind: sim.KindDNN, Profile: prof, Level: 2, PeriodS: 0.100,
+			ModelBytes: 7 << 20, Placement: sim.Placement{Cluster: "cpu-lit", Cores: 2}},
+		{Name: "vr", Kind: sim.KindRender, Util: 0.6, Placement: sim.Placement{Cluster: "gpu"}},
+		{Name: "bg", Kind: sim.KindBackground, Util: 0.4, Placement: sim.Placement{Cluster: "cpu-lit", Cores: 1}},
+	}
+	mgr := NewManager(map[string]Requirement{
+		"dnn1": {MinAccuracy: 0.70, Priority: 1},
+		"dnn2": {MinAccuracy: 0.70, Priority: 2},
+		"dnn3": {Priority: 1},
+	})
+	e, err := sim.New(sim.Config{
+		Platform:   hw.FlagshipSoC(),
+		Apps:       apps,
+		Controller: mgr,
+		TickS:      0.25,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := e.Run(2); err != nil {
+		tb.Fatal(err)
+	}
+	return mgr.buildView(e)
+}
+
+// BenchmarkPolicyPlan measures one full Plan over the benchView input for
+// every registered policy, so planner cost shows up per strategy in the
+// BENCH trajectory:
+//
+//	go test ./internal/rtm -bench BenchmarkPolicyPlan -benchmem
+func BenchmarkPolicyPlan(b *testing.B) {
+	v := benchView(b)
+	for _, name := range Policies() {
+		p, err := NewPolicy(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				plan := p.Plan(v)
+				if len(plan) != 3 {
+					b.Fatalf("plan covered %d DNNs, want 3", len(plan))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReplan measures the full manager path — view construction,
+// policy planning and actuation against a live engine — for the default
+// heuristic; the Plan-only benchmark above isolates the policy share.
+func BenchmarkReplan(b *testing.B) {
+	prof := mobileProfile()
+	mgr := NewManager(map[string]Requirement{"d": {MinAccuracy: 0.70, Priority: 1}})
+	e, err := sim.New(sim.Config{
+		Platform: hw.FlagshipSoC(),
+		Apps: []sim.App{{Name: "d", Kind: sim.KindDNN, Profile: prof, Level: 4,
+			PeriodS: 0.040, ModelBytes: 7 << 20, Placement: sim.Placement{Cluster: "npu"}}},
+		Controller: mgr,
+		TickS:      0.25,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Run(1); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mgr.Replan(e)
+	}
+}
+
+// Example of addressing policies through the registry, for the doc page.
+func ExamplePolicies() {
+	fmt.Println(Policies())
+	// Output: [heuristic maxaccuracy minenergy]
+}

@@ -3,10 +3,7 @@ package rtm
 import (
 	"fmt"
 	"math"
-	"sort"
 
-	"github.com/emlrtm/emlrtm/internal/hw"
-	"github.com/emlrtm/emlrtm/internal/perf"
 	"github.com/emlrtm/emlrtm/internal/sim"
 )
 
@@ -39,25 +36,17 @@ type Assignment struct {
 // re-plans the (model level, mapping, DVFS) knob settings of every managed
 // DNN so that application requirements are met within device constraints.
 //
-// Planning policy (per app, in priority order):
+// The manager itself is an actuation shell. *What* to plan is delegated to
+// a pluggable Policy (NewManager installs the paper's heuristic; see
+// Register/Policies for alternatives): each replan builds a read-only View
+// of the system, asks the policy for one Assignment per DNN, and actuates
+// the plan through the knob layer.
 //
-//	pass 1: place the *minimal* model level whose accuracy meets the
-//	        requirement, at the cheapest (average dynamic power) feasible
-//	        (cluster, cores, min-OPP) point meeting the latency budget,
-//	        accelerator duty, accelerator memory and the thermal power
-//	        budget;
-//	pass 2: if no such point exists, relax the accuracy requirement and
-//	        maximise accuracy among feasible points (the paper's
-//	        "dynamically compressed, trading accuracy");
-//	pass 3: if still nothing, run best-effort: minimise latency subject to
-//	        the power budget only (deadlines may be missed, thermal safety
-//	        is preserved).
-//
-// The thermal power budget is derived from the RC model: sustained power
-// that keeps steady-state temperature at throttle − margin. Each thermal
-// alarm raises the margin (pressure); the pressure decays once the die
-// cools, restoring performance — a reactive feedback loop on top of the
-// proactive plan.
+// The thermal power budget the View carries is derived from the RC model:
+// sustained power that keeps steady-state temperature at throttle − margin.
+// Each thermal alarm raises the margin (pressure); the pressure decays once
+// the die cools, restoring performance — a reactive feedback loop on top of
+// the proactive plan.
 type Manager struct {
 	reqs map[string]Requirement
 
@@ -76,18 +65,20 @@ type Manager struct {
 	// tick would churn without changing the plan.
 	MissReplanBackoffS float64
 
+	policy       Policy
 	registry     *Registry
 	pressure     int
 	misses       int
 	pending      bool
 	plans        int
 	last         []Assignment
+	lastView     View
 	lastMissPlan float64
 }
 
 // NewManager builds a manager with the given per-app requirements (keyed
 // by app name; apps without an entry get defaults: latency = period,
-// accuracy unconstrained, priority 0).
+// accuracy unconstrained, priority 0) and the default heuristic policy.
 func NewManager(reqs map[string]Requirement) *Manager {
 	m := &Manager{
 		reqs:                map[string]Requirement{},
@@ -95,12 +86,26 @@ func NewManager(reqs map[string]Requirement) *Manager {
 		BaseMarginC:         0,
 		MissReplanThreshold: 2,
 		MissReplanBackoffS:  2,
+		policy:              heuristicPolicy{},
 	}
 	for k, v := range reqs {
 		m.reqs[k] = v
 	}
 	return m
 }
+
+// SetPolicy swaps the planning policy and schedules a replan so the swap
+// takes effect at the next controller tick. A nil policy is ignored.
+func (m *Manager) SetPolicy(p Policy) {
+	if p == nil {
+		return
+	}
+	m.policy = p
+	m.pending = true
+}
+
+// PolicyName reports which planning policy the manager is running.
+func (m *Manager) PolicyName() string { return m.policy.Name() }
 
 // SetRequirement installs or replaces an app's requirement at runtime (the
 // Fig 2(d) event: "the accuracy requirement of the second DNN is reduced")
@@ -122,11 +127,19 @@ func (m *Manager) Requirement(app string, periodS float64) Requirement {
 // Plans returns how many replans have executed.
 func (m *Manager) Plans() int { return m.plans }
 
-// LastPlan returns the most recent set of assignments.
+// LastPlan returns a copy of the most recent set of assignments.
 func (m *Manager) LastPlan() []Assignment { return append([]Assignment(nil), m.last...) }
 
+// LastView returns a copy of the view the most recent plan was computed
+// over — the read-only planning input, for inspection and tests. Like
+// LastPlan, the copy is defensive: callers (and policies, which receive
+// the view by value at plan time) cannot reach manager or engine state
+// through it.
+func (m *Manager) LastView() View { return m.lastView.Clone() }
+
 // Registry returns the knob/monitor registry built for the bound engine
-// (nil before the first plan).
+// (nil before the first plan). It is an actuation surface for external
+// tooling; policies never see it — they plan over the read-only View.
 func (m *Manager) Registry() *Registry { return m.registry }
 
 // Pressure returns the outstanding thermal pressure level.
@@ -169,341 +182,68 @@ func (m *Manager) OnEvent(e *sim.Engine, ev sim.Event) {
 	}
 }
 
-// candidate is one evaluated operating point during planning.
-type candidate struct {
-	placement sim.Placement
-	level     int
-	oppIdx    int
-	latencyS  float64
-	duty      float64
-	dynPowMW  float64
-	accuracy  float64
-	memBytes  int64
+// buildView snapshots the engine and the manager's thermal stance into the
+// read-only planning input. Apps and clusters are value copies from the
+// engine snapshot and the requirement map is rebuilt per view, so handing
+// the view to a policy exposes no internal mutable state.
+func (m *Manager) buildView(e *sim.Engine) View {
+	snap := e.Snapshot()
+	plat := e.Platform()
+	margin := m.BaseMarginC + float64(m.pressure)*m.PressureStepC
+	capW := plat.Thermal.PowerBudgetW(snap.AmbientC, plat.Thermal.ThrottleC-margin)
+	v := View{
+		NowS:        snap.TimeS,
+		AmbientC:    snap.AmbientC,
+		TempC:       snap.TempC,
+		ThrottleC:   snap.ThrottleC,
+		MarginC:     margin,
+		DynBudgetMW: capW * 1000,
+		Platform:    plat,
+		Apps:        snap.Apps,
+		Clusters:    snap.Clusters,
+		Reqs:        map[string]Requirement{},
+	}
+	for _, a := range snap.Apps {
+		if a.Kind == sim.KindDNN {
+			v.Reqs[a.Name] = m.Requirement(a.Name, a.PeriodS)
+		}
+	}
+	return v
 }
 
-// planState is the resource ledger consumed while assigning apps.
-type planState struct {
-	freeCores map[string]int
-	freeDuty  map[string]float64
-	freeMem   map[string]int64
-	oppNeed   map[string]int
-	dynBudget float64 // remaining average dynamic power, mW
-}
-
-// Replan recomputes and actuates assignments for every running DNN app.
+// Replan recomputes and actuates assignments for every running DNN app:
+// build the view, delegate planning to the policy, actuate the plan.
 func (m *Manager) Replan(e *sim.Engine) {
 	m.pending = false
 	m.misses = 0
 	m.plans++
-	plat := e.Platform()
 
 	if m.registry == nil {
 		m.buildRegistry(e)
 	}
 
-	// Partition apps.
-	var dnns []sim.AppInfo
-	others := map[string][]sim.AppInfo{} // cluster -> non-DNN residents
-	for _, a := range e.Apps() {
-		if !a.Running {
-			continue
-		}
-		if a.Kind == sim.KindDNN {
-			dnns = append(dnns, a)
-		} else {
-			others[a.Placement.Cluster] = append(others[a.Placement.Cluster], a)
-		}
-	}
-	sort.SliceStable(dnns, func(i, j int) bool {
-		ri := m.Requirement(dnns[i].Name, dnns[i].PeriodS)
-		rj := m.Requirement(dnns[j].Name, dnns[j].PeriodS)
-		if ri.Priority != rj.Priority {
-			return ri.Priority > rj.Priority
-		}
-		return ri.MaxLatencyS < rj.MaxLatencyS
-	})
-
-	// Build the resource ledger.
-	st := &planState{
-		freeCores: map[string]int{},
-		freeDuty:  map[string]float64{},
-		freeMem:   map[string]int64{},
-		oppNeed:   map[string]int{},
-	}
-	margin := m.BaseMarginC + float64(m.pressure)*m.PressureStepC
-	capW := plat.Thermal.PowerBudgetW(e.Ambient(), plat.Thermal.ThrottleC-margin)
-	st.dynBudget = capW * 1000
-	for _, cl := range plat.Clusters {
-		st.dynBudget -= cl.IdlePowerMW()
-		if cl.Type.IsAccelerator() {
-			st.freeDuty[cl.Name] = 1
-			st.freeMem[cl.Name] = cl.MemBytes
-		} else {
-			st.freeCores[cl.Name] = cl.Cores
-		}
-	}
-	// Non-DNN apps consume resources and (uncontrollable) power at the OPP
-	// they will be pinned to: max for render clusters, min otherwise.
-	// Iterate in platform cluster order, not map order: the budget is a
-	// float accumulation, and a run-dependent summation order could flip a
-	// marginal feasibility decision between otherwise identical runs.
-	for _, cl := range plat.Clusters {
-		clName := cl.Name
-		residents := others[clName]
-		if len(residents) == 0 {
-			continue
-		}
-		opp := cl.MinOPP()
-		if hasRender(residents) {
-			opp = cl.MaxOPP()
-			st.oppNeed[clName] = len(cl.OPPs) - 1
-		}
-		for _, a := range residents {
-			dyn := dynPowerMW(cl, opp, clApplyCores(cl, a.Placement.Cores), a.Util)
-			st.dynBudget -= dyn
-			if cl.Type.IsAccelerator() {
-				st.freeDuty[clName] -= a.Util
-			} else {
-				st.freeCores[clName] -= a.Placement.Cores
-			}
-		}
-	}
-	if st.dynBudget < 0 {
-		st.dynBudget = 0
-	}
-
-	// Assign apps greedily.
-	var plan []Assignment
-	for _, a := range dnns {
-		req := m.Requirement(a.Name, a.PeriodS)
-		asg := m.assign(plat, st, a, req)
-		plan = append(plan, asg)
+	v := m.buildView(e)
+	// The policy gets its own clone: a policy that scribbles on its
+	// View's runtime state cannot corrupt the copy actuation and
+	// LastView read from.
+	plan := m.policy.Plan(v.Clone())
+	for _, asg := range plan {
 		m.logf("rtm: t=%.2fs plan %s -> %s/%d cores, level %d, opp %d (pass %d, %.1fms, %.0fmW)",
-			e.Now(), a.Name, asg.Placement.Cluster, asg.Placement.Cores, asg.Level,
+			v.NowS, asg.App, asg.Placement.Cluster, asg.Placement.Cores, asg.Level,
 			asg.OPPIndex, asg.Pass, asg.LatencyS*1000, asg.DynPowMW)
 	}
 	m.last = plan
-	m.actuate(e, plan, st, others)
-}
-
-func hasRender(apps []sim.AppInfo) bool {
-	for _, a := range apps {
-		if a.Kind == sim.KindRender {
-			return true
-		}
-	}
-	return false
-}
-
-func clApplyCores(cl *hw.Cluster, cores int) int {
-	if cl.Type.IsAccelerator() {
-		return cl.Cores
-	}
-	return cores
-}
-
-// dynPowerMW is the average dynamic (above-static) power of n cores at the
-// given utilisation.
-func dynPowerMW(cl *hw.Cluster, opp hw.OPP, n int, util float64) float64 {
-	return cl.BusyPowerMW(opp, n, util) - cl.IdlePowerMW()
-}
-
-// assign finds the best operating point for one app given the ledger, and
-// commits the resources.
-func (m *Manager) assign(plat *hw.Platform, st *planState, a sim.AppInfo, req Requirement) Assignment {
-	minLevel := 1
-	for l := 1; l <= a.Profile.MaxLevel(); l++ {
-		minLevel = l
-		if a.Profile.Level(l).Accuracy >= req.MinAccuracy {
-			break
-		}
-	}
-
-	// Pass 1: exactly the minimal level meeting the accuracy requirement.
-	if a.Profile.Level(minLevel).Accuracy >= req.MinAccuracy {
-		if c, ok := m.bestCandidate(plat, st, a, req, []int{minLevel}, false); ok {
-			return m.commit(st, a, c, 1)
-		}
-	}
-	// Pass 2: accuracy relaxed — maximise accuracy among feasible points.
-	levels := make([]int, 0, a.Profile.MaxLevel())
-	for l := a.Profile.MaxLevel(); l >= 1; l-- {
-		levels = append(levels, l)
-	}
-	if c, ok := m.bestCandidate(plat, st, a, req, levels, false); ok {
-		return m.commit(st, a, c, 2)
-	}
-	// Pass 3: best effort — minimise latency subject to the power budget.
-	if c, ok := m.bestCandidate(plat, st, a, req, levels, true); ok {
-		return m.commit(st, a, c, 3)
-	}
-	// Nothing fits at all (power budget exhausted): park at the current
-	// placement, minimum level, minimum OPP.
-	cl := plat.Cluster(a.Placement.Cluster)
-	park := candidate{
-		placement: a.Placement,
-		level:     1,
-		oppIdx:    0,
-		latencyS:  perf.InferenceLatencyS(cl, cl.MinOPP(), clApplyCores(cl, a.Placement.Cores), a.Profile.Level(1).MACs),
-		accuracy:  a.Profile.Level(1).Accuracy,
-	}
-	return m.commit(st, a, park, 3)
-}
-
-// bestCandidate enumerates feasible candidates over the level list and
-// returns the winner. In best-effort mode latency/duty feasibility is
-// dropped; only power, cores and memory bind, and the objective becomes
-// minimum latency.
-func (m *Manager) bestCandidate(plat *hw.Platform, st *planState, a sim.AppInfo, req Requirement, levels []int, bestEffort bool) (candidate, bool) {
-	var best candidate
-	found := false
-	better := func(c candidate) bool {
-		if !found {
-			return true
-		}
-		// Hysteresis: candidates keeping the current placement and level
-		// get a 5% cost discount to avoid migration churn.
-		cost := func(x candidate) float64 {
-			v := x.dynPowMW
-			if bestEffort {
-				v = x.latencyS * 1000
-			}
-			if x.placement == a.Placement && x.level == a.Level {
-				v *= 0.95
-			}
-			return v
-		}
-		if !bestEffort && c.accuracy != best.accuracy {
-			return c.accuracy > best.accuracy
-		}
-		return cost(c) < cost(best)
-	}
-	for _, cl := range plat.Clusters {
-		coreOptions := m.coreOptions(cl, st)
-		for _, cores := range coreOptions {
-			for _, level := range levels {
-				spec := a.Profile.Level(level)
-				// Memory feasibility on accelerators.
-				var memNeed int64
-				if cl.MemBytes > 0 && a.ModelBytes > 0 {
-					memNeed = a.ModelBytes * int64(level) / int64(a.Profile.MaxLevel())
-					if memNeed > st.freeMem[cl.Name] {
-						continue
-					}
-				}
-				oppIdx, ok := m.chooseOPP(cl, st, cores, spec.MACs, req.MaxLatencyS, bestEffort)
-				if !ok {
-					continue
-				}
-				opp := cl.OPPs[oppIdx]
-				lat := perf.InferenceLatencyS(cl, opp, cores, spec.MACs)
-				duty := lat / a.PeriodS
-				if duty > 1 {
-					duty = 1
-				}
-				if !bestEffort {
-					if lat > req.MaxLatencyS {
-						continue
-					}
-					if cl.Type.IsAccelerator() && duty > st.freeDuty[cl.Name]+1e-9 {
-						continue
-					}
-				}
-				dyn := dynPowerMW(cl, opp, cores, 1) * duty
-				if dyn > st.dynBudget+1e-9 {
-					continue
-				}
-				c := candidate{
-					placement: sim.Placement{Cluster: cl.Name, Cores: cores},
-					level:     level,
-					oppIdx:    oppIdx,
-					latencyS:  lat,
-					duty:      duty,
-					dynPowMW:  dyn,
-					accuracy:  spec.Accuracy,
-					memBytes:  memNeed,
-				}
-				if better(c) {
-					best = c
-					found = true
-				}
-			}
-		}
-	}
-	return best, found
-}
-
-// coreOptions lists allocatable core counts on a cluster given the ledger.
-func (m *Manager) coreOptions(cl *hw.Cluster, st *planState) []int {
-	if cl.Type.IsAccelerator() {
-		if st.freeDuty[cl.Name] <= 0 {
-			return nil
-		}
-		return []int{cl.Cores}
-	}
-	free := st.freeCores[cl.Name]
-	if free < 1 {
-		return nil
-	}
-	opts := make([]int, 0, free)
-	for n := free; n >= 1; n-- {
-		opts = append(opts, n)
-	}
-	return opts
-}
-
-// chooseOPP returns the lowest OPP (≥ the cluster's committed floor)
-// meeting the latency budget — pacing beats race-to-idle under a CV²f
-// power model. In best-effort mode it returns the maximum OPP.
-func (m *Manager) chooseOPP(cl *hw.Cluster, st *planState, cores int, macs int64, budgetS float64, bestEffort bool) (int, bool) {
-	floor := st.oppNeed[cl.Name]
-	if bestEffort {
-		return len(cl.OPPs) - 1, true
-	}
-	for i := floor; i < len(cl.OPPs); i++ {
-		if perf.InferenceLatencyS(cl, cl.OPPs[i], cores, macs) <= budgetS {
-			return i, true
-		}
-	}
-	return 0, false
-}
-
-// commit consumes ledger resources for the chosen candidate.
-func (m *Manager) commit(st *planState, a sim.AppInfo, c candidate, pass int) Assignment {
-	if c.duty > 0 {
-		if _, accel := st.freeDuty[c.placement.Cluster]; accel {
-			st.freeDuty[c.placement.Cluster] -= c.duty
-		}
-	}
-	if _, cpu := st.freeCores[c.placement.Cluster]; cpu {
-		st.freeCores[c.placement.Cluster] -= c.placement.Cores
-	}
-	if c.memBytes > 0 {
-		st.freeMem[c.placement.Cluster] -= c.memBytes
-	}
-	st.dynBudget -= c.dynPowMW
-	if st.dynBudget < 0 {
-		st.dynBudget = 0
-	}
-	if c.oppIdx > st.oppNeed[c.placement.Cluster] {
-		st.oppNeed[c.placement.Cluster] = c.oppIdx
-	}
-	return Assignment{
-		App:       a.Name,
-		Placement: c.placement,
-		Level:     c.level,
-		OPPIndex:  c.oppIdx,
-		LatencyS:  c.latencyS,
-		DynPowMW:  c.dynPowMW,
-		Accuracy:  c.accuracy,
-		Pass:      pass,
-	}
+	m.lastView = v
+	m.actuate(e, v, plan)
 }
 
 // actuate applies the plan through the knob layer: level reductions first
 // (to release accelerator memory), then migrations, then level increases,
-// then per-cluster OPPs.
-func (m *Manager) actuate(e *sim.Engine, plan []Assignment, st *planState, others map[string][]sim.AppInfo) {
+// then per-cluster OPPs. The per-cluster DVFS floor is derived from the
+// plan itself (the highest OPP any assignment committed on the cluster)
+// plus the render pin, so actuation depends only on (view, plan) — not on
+// policy-internal ledgers.
+func (m *Manager) actuate(e *sim.Engine, v View, plan []Assignment) {
 	current := map[string]sim.AppInfo{}
 	for _, a := range e.Apps() {
 		current[a.Name] = a
@@ -541,21 +281,24 @@ func (m *Manager) actuate(e *sim.Engine, plan []Assignment, st *planState, other
 			m.setLevel(e, asg.App, asg.Level)
 		}
 	}
-	// DVFS: clusters hosting DNNs get their committed floor; render
-	// clusters run flat out; everything else drops to minimum.
-	hosted := map[string]bool{}
-	for _, asg := range plan {
-		hosted[asg.Placement.Cluster] = true
+	// DVFS: clusters hosting DNNs get the highest OPP their assignments
+	// committed; render clusters run flat out; everything else drops to
+	// minimum.
+	renderOn := map[string]bool{}
+	for _, a := range v.Apps {
+		if a.Running && a.Kind == sim.KindRender {
+			renderOn[a.Placement.Cluster] = true
+		}
 	}
 	for _, cl := range e.Platform().Clusters {
-		var idx int
-		switch {
-		case hosted[cl.Name]:
-			idx = st.oppNeed[cl.Name]
-		case hasRender(others[cl.Name]):
+		idx := 0
+		if renderOn[cl.Name] {
 			idx = len(cl.OPPs) - 1
-		default:
-			idx = 0
+		}
+		for _, asg := range plan {
+			if asg.Placement.Cluster == cl.Name && asg.OPPIndex > idx {
+				idx = asg.OPPIndex
+			}
 		}
 		m.setOPP(e, cl.Name, idx)
 	}

@@ -1,0 +1,68 @@
+package rtm
+
+import "github.com/emlrtm/emlrtm/internal/sim"
+
+// maxAccuracyPolicy runs every DNN at the highest configuration that
+// still meets its deadline — energy-blind. It is the quality-first end of
+// the policy spectrum (Taylor et al.'s "most accurate model that fits the
+// budget" selection rule): accuracy floors are treated as soft minima to
+// exceed, not targets to hit cheaply, and within a placement the policy
+// clocks as fast as the thermal budget allows so the largest possible
+// level fits. Latency deadlines, accelerator duty/memory and the thermal
+// power budget still bind — the policy is aggressive, not unsafe.
+type maxAccuracyPolicy struct{}
+
+// Name implements Policy.
+func (maxAccuracyPolicy) Name() string { return "maxaccuracy" }
+
+// Plan implements Policy.
+func (maxAccuracyPolicy) Plan(v View) []Assignment {
+	st := newPlanState(&v)
+	var plan []Assignment
+	for _, a := range plannableDNNs(&v) {
+		plan = append(plan, maxAccuracyAssign(&v, st, a))
+	}
+	return plan
+}
+
+func maxAccuracyAssign(v *View, st *planState, a sim.AppInfo) Assignment {
+	req := v.Req(a)
+	// Pass 1: the highest feasible level, ranked accuracy-first. For each
+	// (cluster, cores, level) the fastest OPP that fits both the latency
+	// budget and the remaining power budget is taken — racing upward in
+	// frequency buys headroom for bigger levels, and the policy does not
+	// care what that costs in energy.
+	var best candidate
+	found := false
+	for _, cl := range v.Platform.Clusters {
+		for _, cores := range coreOptions(cl, st) {
+			for _, level := range descendingLevels(a) {
+				for oppIdx := len(cl.OPPs) - 1; oppIdx >= st.oppNeed[cl.Name]; oppIdx-- {
+					c, ok := evalCandidate(st, a, req, cl, cores, level, oppIdx, false)
+					if !ok {
+						continue
+					}
+					// Highest-frequency feasible OPP for this point wins.
+					if !found || c.accuracy > best.accuracy ||
+						(c.accuracy == best.accuracy && c.latencyS < best.latencyS) {
+						best = c
+						found = true
+					}
+					break
+				}
+			}
+		}
+	}
+	if found {
+		pass := 1
+		if best.accuracy < req.MinAccuracy {
+			pass = 2 // even the best feasible level sits below the floor
+		}
+		return st.commit(a, best, pass)
+	}
+	// Pass 3: best effort — minimise latency under the power budget only.
+	if c, ok := heuristicBest(v, st, a, req, descendingLevels(a), true); ok {
+		return st.commit(a, c, 3)
+	}
+	return park(v, st, a)
+}

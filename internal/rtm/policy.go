@@ -1,0 +1,427 @@
+package rtm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/emlrtm/emlrtm/internal/hw"
+	"github.com/emlrtm/emlrtm/internal/perf"
+	"github.com/emlrtm/emlrtm/internal/sim"
+)
+
+// This file is the pluggable policy layer extracted from the runtime
+// manager. The paper frames trade-off management — which dynamic-DNN
+// level, DVFS point and core allocation each application gets — as a
+// *policy* question with interchangeable strategies (heuristic or
+// learned). A Policy is exactly that strategy: a pure planning function
+// over a read-only View of the system. The Manager remains the actuation
+// shell: it builds the View, asks the Policy for a plan, and drives the
+// knob layer to realise it.
+
+// View is the read-only snapshot a policy plans over. The runtime state
+// in it — Apps, Clusters, Reqs — is value copies rebuilt per plan, so a
+// policy that scribbles on them corrupts only its own input, never
+// manager or engine state. Platform (and the profile level tables inside
+// each AppInfo) is shared static configuration: neither the engine nor
+// the manager ever mutates it, and policies must honour the same
+// read-only contract — it is not defensively copied.
+type View struct {
+	// NowS is the simulation clock at planning time.
+	NowS float64
+	// AmbientC / TempC / ThrottleC describe the thermal situation.
+	AmbientC  float64
+	TempC     float64
+	ThrottleC float64
+	// MarginC is the planning margin below the throttle point the manager
+	// currently demands (base margin plus accumulated thermal pressure).
+	MarginC float64
+	// DynBudgetMW is the sustained platform power budget, in mW, derived
+	// from the RC thermal model at ThrottleC − MarginC. It includes static
+	// (idle) power: planners must subtract idle and co-runner power before
+	// spending it on DNN placements (newPlanState does this).
+	DynBudgetMW float64
+	// Platform is the hardware description (clusters, OPP ladders, thermal
+	// parameters). Treat as read-only.
+	Platform *hw.Platform
+	// Apps is the observable state of every app, in engine creation order.
+	Apps []sim.AppInfo
+	// Clusters is the observable state of every cluster, in platform order.
+	Clusters []sim.ClusterInfo
+	// Reqs holds the resolved requirement of every DNN app (defaults
+	// applied: a zero MaxLatencyS becomes the app's frame period).
+	Reqs map[string]Requirement
+}
+
+// Req returns the requirement for an app with defaults applied, tolerating
+// hand-built Views whose Reqs map is sparse or unresolved.
+func (v *View) Req(a sim.AppInfo) Requirement {
+	r := v.Reqs[a.Name]
+	if r.MaxLatencyS == 0 {
+		r.MaxLatencyS = a.PeriodS
+	}
+	return r
+}
+
+// Clone deep-copies the view's slices and map (one level: profile level
+// tables inside AppInfo are shared, as is the Platform description). It is
+// what Manager.LastView returns, so callers can inspect the last planning
+// input without aliasing manager state.
+func (v View) Clone() View {
+	c := v
+	c.Apps = append([]sim.AppInfo(nil), v.Apps...)
+	c.Clusters = append([]sim.ClusterInfo(nil), v.Clusters...)
+	c.Reqs = make(map[string]Requirement, len(v.Reqs))
+	for k, r := range v.Reqs {
+		c.Reqs[k] = r
+	}
+	return c
+}
+
+// Policy maps a View to one Assignment per running DNN app. Plan must be
+// deterministic (same View, same plan) and must not retain or mutate the
+// View; the fleet harness depends on both to keep sweeps reproducible.
+type Policy interface {
+	// Name is the registry key the policy is addressed by (e.g. in
+	// fleetsim -policies); stable and lowercase by convention.
+	Name() string
+	// Plan computes assignments for every running DNN in the view.
+	Plan(v View) []Assignment
+}
+
+// DefaultPolicy is the policy NewManager installs and the name the empty
+// string resolves to: the paper's heuristic manager.
+const DefaultPolicy = "heuristic"
+
+var (
+	policyMu        sync.RWMutex
+	policyFactories = map[string]func() Policy{}
+)
+
+// Register adds a policy factory under its name. New strategies are one
+// file: implement Policy, Register it from an init function, and every
+// layer above — manager, fleet sweeps, fleetsim -policies, the facade —
+// can address it by name. Register panics on a duplicate or empty name
+// (a programming error, caught at init time).
+func Register(name string, factory func() Policy) {
+	if name == "" || factory == nil {
+		panic("rtm: Register requires a name and a factory")
+	}
+	policyMu.Lock()
+	defer policyMu.Unlock()
+	if _, dup := policyFactories[name]; dup {
+		panic(fmt.Sprintf("rtm: policy %q registered twice", name))
+	}
+	policyFactories[name] = factory
+}
+
+// Policies lists all registered policy names, sorted.
+func Policies() []string {
+	policyMu.RLock()
+	defer policyMu.RUnlock()
+	out := make([]string, 0, len(policyFactories))
+	for name := range policyFactories {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewPolicy instantiates a registered policy by name; "" resolves to
+// DefaultPolicy. Unknown names error with the list of valid ones, so a
+// typo in a sweep spec fails loudly before any simulation runs.
+func NewPolicy(name string) (Policy, error) {
+	if name == "" {
+		name = DefaultPolicy
+	}
+	policyMu.RLock()
+	factory := policyFactories[name]
+	policyMu.RUnlock()
+	if factory == nil {
+		return nil, fmt.Errorf("rtm: unknown policy %q (registered: %v)", name, Policies())
+	}
+	return factory(), nil
+}
+
+func init() {
+	Register("heuristic", func() Policy { return heuristicPolicy{} })
+	Register("maxaccuracy", func() Policy { return maxAccuracyPolicy{} })
+	Register("minenergy", func() Policy { return minEnergyPolicy{} })
+}
+
+// ---- Shared planning machinery ----
+//
+// The pieces below are the constraint bookkeeping every greedy policy
+// shares: the resource ledger, candidate evaluation, OPP/core option
+// enumeration, and commitment. Policies differ in which candidates they
+// enumerate and how they rank them.
+
+// candidate is one evaluated operating point during planning.
+type candidate struct {
+	placement sim.Placement
+	level     int
+	oppIdx    int
+	latencyS  float64
+	duty      float64
+	dynPowMW  float64
+	accuracy  float64
+	memBytes  int64
+}
+
+// planState is the resource ledger consumed while assigning apps.
+type planState struct {
+	freeCores map[string]int
+	freeDuty  map[string]float64
+	freeMem   map[string]int64
+	oppNeed   map[string]int
+	dynBudget float64 // remaining average dynamic power, mW
+}
+
+// newPlanState builds the ledger from a view: the thermal power budget
+// less every cluster's idle power and the (uncontrollable) power of
+// non-DNN co-runners, plus free cores, accelerator duty and accelerator
+// memory. Iteration follows platform cluster order, not map order: the
+// budget is a float accumulation, and a run-dependent summation order
+// could flip a marginal feasibility decision between identical runs.
+func newPlanState(v *View) *planState {
+	st := &planState{
+		freeCores: map[string]int{},
+		freeDuty:  map[string]float64{},
+		freeMem:   map[string]int64{},
+		oppNeed:   map[string]int{},
+	}
+	st.dynBudget = v.DynBudgetMW
+	for _, cl := range v.Platform.Clusters {
+		st.dynBudget -= cl.IdlePowerMW()
+		if cl.Type.IsAccelerator() {
+			st.freeDuty[cl.Name] = 1
+			st.freeMem[cl.Name] = cl.MemBytes
+		} else {
+			st.freeCores[cl.Name] = cl.Cores
+		}
+	}
+	// Non-DNN apps consume resources and power at the OPP they will be
+	// pinned to: max for render clusters, min otherwise.
+	others := coRunners(v)
+	for _, cl := range v.Platform.Clusters {
+		residents := others[cl.Name]
+		if len(residents) == 0 {
+			continue
+		}
+		opp := cl.MinOPP()
+		if hasRender(residents) {
+			opp = cl.MaxOPP()
+			st.oppNeed[cl.Name] = len(cl.OPPs) - 1
+		}
+		for _, a := range residents {
+			dyn := dynPowerMW(cl, opp, clApplyCores(cl, a.Placement.Cores), a.Util)
+			st.dynBudget -= dyn
+			if cl.Type.IsAccelerator() {
+				st.freeDuty[cl.Name] -= a.Util
+			} else {
+				st.freeCores[cl.Name] -= a.Placement.Cores
+			}
+		}
+	}
+	if st.dynBudget < 0 {
+		st.dynBudget = 0
+	}
+	return st
+}
+
+// coRunners groups running non-DNN apps by cluster, in app order.
+func coRunners(v *View) map[string][]sim.AppInfo {
+	others := map[string][]sim.AppInfo{}
+	for _, a := range v.Apps {
+		if !a.Running || a.Kind == sim.KindDNN {
+			continue
+		}
+		others[a.Placement.Cluster] = append(others[a.Placement.Cluster], a)
+	}
+	return others
+}
+
+// plannableDNNs returns the running DNN apps in planning order: priority
+// descending, then latency budget ascending (stable over engine order).
+func plannableDNNs(v *View) []sim.AppInfo {
+	var dnns []sim.AppInfo
+	for _, a := range v.Apps {
+		if a.Running && a.Kind == sim.KindDNN {
+			dnns = append(dnns, a)
+		}
+	}
+	sort.SliceStable(dnns, func(i, j int) bool {
+		ri, rj := v.Req(dnns[i]), v.Req(dnns[j])
+		if ri.Priority != rj.Priority {
+			return ri.Priority > rj.Priority
+		}
+		return ri.MaxLatencyS < rj.MaxLatencyS
+	})
+	return dnns
+}
+
+func hasRender(apps []sim.AppInfo) bool {
+	for _, a := range apps {
+		if a.Kind == sim.KindRender {
+			return true
+		}
+	}
+	return false
+}
+
+func clApplyCores(cl *hw.Cluster, cores int) int {
+	if cl.Type.IsAccelerator() {
+		return cl.Cores
+	}
+	return cores
+}
+
+// dynPowerMW is the average dynamic (above-static) power of n cores at the
+// given utilisation.
+func dynPowerMW(cl *hw.Cluster, opp hw.OPP, n int, util float64) float64 {
+	return cl.BusyPowerMW(opp, n, util) - cl.IdlePowerMW()
+}
+
+// coreOptions lists allocatable core counts on a cluster given the ledger,
+// largest first (so a tie on the objective keeps the bigger allocation).
+func coreOptions(cl *hw.Cluster, st *planState) []int {
+	if cl.Type.IsAccelerator() {
+		if st.freeDuty[cl.Name] <= 0 {
+			return nil
+		}
+		return []int{cl.Cores}
+	}
+	free := st.freeCores[cl.Name]
+	if free < 1 {
+		return nil
+	}
+	opts := make([]int, 0, free)
+	for n := free; n >= 1; n-- {
+		opts = append(opts, n)
+	}
+	return opts
+}
+
+// chooseOPP returns the lowest OPP index >= floor (the cluster's committed
+// DVFS floor) meeting the latency budget — pacing beats race-to-idle under
+// a CV²f power model. ok is false when even the maximum OPP misses.
+func chooseOPP(cl *hw.Cluster, floor, cores int, macs int64, budgetS float64) (int, bool) {
+	for i := floor; i < len(cl.OPPs); i++ {
+		if perf.InferenceLatencyS(cl, cl.OPPs[i], cores, macs) <= budgetS {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// evalCandidate checks one (cluster, cores, level, OPP) point against the
+// ledger — accelerator memory, latency budget (skipped in best-effort
+// mode), accelerator duty and the power budget — and prices it. ok is
+// false when any constraint fails.
+func evalCandidate(st *planState, a sim.AppInfo, req Requirement, cl *hw.Cluster, cores, level, oppIdx int, bestEffort bool) (candidate, bool) {
+	spec := a.Profile.Level(level)
+	var memNeed int64
+	if cl.MemBytes > 0 && a.ModelBytes > 0 {
+		memNeed = a.ModelBytes * int64(level) / int64(a.Profile.MaxLevel())
+		if memNeed > st.freeMem[cl.Name] {
+			return candidate{}, false
+		}
+	}
+	opp := cl.OPPs[oppIdx]
+	lat := perf.InferenceLatencyS(cl, opp, cores, spec.MACs)
+	duty := lat / a.PeriodS
+	if duty > 1 {
+		duty = 1
+	}
+	if !bestEffort {
+		if lat > req.MaxLatencyS {
+			return candidate{}, false
+		}
+		if cl.Type.IsAccelerator() && duty > st.freeDuty[cl.Name]+1e-9 {
+			return candidate{}, false
+		}
+	}
+	dyn := dynPowerMW(cl, opp, cores, 1) * duty
+	if dyn > st.dynBudget+1e-9 {
+		return candidate{}, false
+	}
+	return candidate{
+		placement: sim.Placement{Cluster: cl.Name, Cores: cores},
+		level:     level,
+		oppIdx:    oppIdx,
+		latencyS:  lat,
+		duty:      duty,
+		dynPowMW:  dyn,
+		accuracy:  spec.Accuracy,
+		memBytes:  memNeed,
+	}, true
+}
+
+// commit consumes ledger resources for the chosen candidate and converts
+// it into an Assignment.
+func (st *planState) commit(a sim.AppInfo, c candidate, pass int) Assignment {
+	if c.duty > 0 {
+		if _, accel := st.freeDuty[c.placement.Cluster]; accel {
+			st.freeDuty[c.placement.Cluster] -= c.duty
+		}
+	}
+	if _, cpu := st.freeCores[c.placement.Cluster]; cpu {
+		st.freeCores[c.placement.Cluster] -= c.placement.Cores
+	}
+	if c.memBytes > 0 {
+		st.freeMem[c.placement.Cluster] -= c.memBytes
+	}
+	st.dynBudget -= c.dynPowMW
+	if st.dynBudget < 0 {
+		st.dynBudget = 0
+	}
+	if c.oppIdx > st.oppNeed[c.placement.Cluster] {
+		st.oppNeed[c.placement.Cluster] = c.oppIdx
+	}
+	return Assignment{
+		App:       a.Name,
+		Placement: c.placement,
+		Level:     c.level,
+		OPPIndex:  c.oppIdx,
+		LatencyS:  c.latencyS,
+		DynPowMW:  c.dynPowMW,
+		Accuracy:  c.accuracy,
+		Pass:      pass,
+	}
+}
+
+// park is the nothing-fits fallback every policy shares: stay at the
+// current placement, minimum level, minimum OPP, and let best effort ride.
+func park(v *View, st *planState, a sim.AppInfo) Assignment {
+	cl := v.Platform.Cluster(a.Placement.Cluster)
+	c := candidate{
+		placement: a.Placement,
+		level:     1,
+		oppIdx:    0,
+		latencyS:  perf.InferenceLatencyS(cl, cl.MinOPP(), clApplyCores(cl, a.Placement.Cores), a.Profile.Level(1).MACs),
+		accuracy:  a.Profile.Level(1).Accuracy,
+	}
+	return st.commit(a, c, 3)
+}
+
+// descendingLevels returns [MaxLevel .. 1] for a profile.
+func descendingLevels(a sim.AppInfo) []int {
+	levels := make([]int, 0, a.Profile.MaxLevel())
+	for l := a.Profile.MaxLevel(); l >= 1; l-- {
+		levels = append(levels, l)
+	}
+	return levels
+}
+
+// minLevelMeeting returns the lowest level whose accuracy meets the floor
+// (the highest level when none does).
+func minLevelMeeting(a sim.AppInfo, minAccuracy float64) int {
+	minLevel := 1
+	for l := 1; l <= a.Profile.MaxLevel(); l++ {
+		minLevel = l
+		if a.Profile.Level(l).Accuracy >= minAccuracy {
+			break
+		}
+	}
+	return minLevel
+}

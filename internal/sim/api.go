@@ -158,6 +158,41 @@ func (e *Engine) Cluster(name string) (ClusterInfo, error) {
 	return info, nil
 }
 
+// Snapshot is a read-only capture of everything a planning policy may
+// observe: the clock, the thermal state, and per-app / per-cluster
+// observable state. The engine's mutable state is captured as value
+// copies — overwriting a Snapshot field cannot reach back into the
+// engine. (Shared static configuration referenced from the copies, such
+// as profile level tables, stays shared and is read-only by contract.)
+type Snapshot struct {
+	TimeS     float64
+	AmbientC  float64
+	TempC     float64
+	ThrottleC float64
+	Apps      []AppInfo
+	Clusters  []ClusterInfo
+}
+
+// Snapshot captures the engine's observable state. Apps are in
+// deterministic creation order and Clusters in platform order, so two
+// snapshots of identical engine states are identical — the determinism
+// anchor for policy planning.
+func (e *Engine) Snapshot() Snapshot {
+	s := Snapshot{
+		TimeS:     e.now,
+		AmbientC:  e.ambient,
+		TempC:     e.thermal.TempC,
+		ThrottleC: e.plat.Thermal.ThrottleC,
+		Apps:      e.Apps(),
+	}
+	for _, name := range e.clusterOrder() {
+		if info, err := e.Cluster(name); err == nil {
+			s.Clusters = append(s.Clusters, info)
+		}
+	}
+	return s
+}
+
 // acceleratorMemUsed sums the level-scaled model bytes of DNN apps resident
 // on the cluster, excluding `except`.
 func (e *Engine) acceleratorMemUsed(cluster, except string) int64 {

@@ -38,6 +38,10 @@ type Scenario struct {
 	Reqs    map[string]rtm.Requirement
 	Actions []Action
 	EndS    float64
+	// Policy names the registered planning policy the manager runs under
+	// ("" = the default heuristic). Run resolves it via rtm.NewPolicy, so
+	// the same scripted workload can be replayed under any strategy.
+	Policy string
 }
 
 // ScenarioController wraps a manager, applying scripted actions at their
@@ -185,7 +189,12 @@ func Fig5Scenario(prof perf.ModelProfile) Scenario {
 // Run executes a scenario with the manager in the loop and returns the
 // engine for inspection, the manager, and the final report.
 func Run(s Scenario, plat *hw.Platform, tickS float64, logf func(string, ...any)) (*sim.Engine, *rtm.Manager, sim.Report, error) {
+	pol, err := rtm.NewPolicy(s.Policy)
+	if err != nil {
+		return nil, nil, sim.Report{}, err
+	}
 	mgr := rtm.NewManager(s.Reqs)
+	mgr.SetPolicy(pol)
 	mgr.Logf = logf
 	ctrl := NewScenarioController(mgr, s.Actions)
 	e, err := sim.New(sim.Config{
