@@ -33,6 +33,7 @@ func printOnce(b *testing.B, i int, what string) {
 
 // BenchmarkTableI regenerates Table I (E1).
 func BenchmarkTableI(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := experiments.Table1(perf.PaperAccuracies[3])
 		if res.MaxRelativeError() > 0.05 {
@@ -44,6 +45,7 @@ func BenchmarkTableI(b *testing.B) {
 
 // BenchmarkFig1 regenerates the design-time mapping of Fig 1 (E2).
 func BenchmarkFig1(b *testing.B) {
+	b.ReportAllocs()
 	prof := perf.PaperReferenceProfile()
 	for i := 0; i < b.N; i++ {
 		res := experiments.Fig1(prof)
@@ -56,6 +58,7 @@ func BenchmarkFig1(b *testing.B) {
 
 // BenchmarkFig2 runs the full Fig 2 runtime scenario (E3).
 func BenchmarkFig2(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig2(benchOpts)
 		if err != nil {
@@ -77,6 +80,7 @@ var trainedOnce = sync.OnceValues(func() (experiments.TrainResult, error) {
 // BenchmarkFig3Train runs incremental training end to end (E4). Each
 // iteration is a complete 4-step training on the quick-scale task.
 func BenchmarkFig3Train(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.TrainDynamic(benchOpts)
 		if err != nil {
@@ -92,6 +96,7 @@ func BenchmarkFig3Train(b *testing.B) {
 // BenchmarkFig4b evaluates all four configurations of a trained model on
 // the validation set (E6) — the Fig 4(b) measurement itself.
 func BenchmarkFig4b(b *testing.B) {
+	b.ReportAllocs()
 	res, err := trainedOnce()
 	if err != nil {
 		b.Fatal(err)
@@ -108,6 +113,7 @@ func BenchmarkFig4b(b *testing.B) {
 
 // BenchmarkFig4a enumerates the 116-point E/t space (E5).
 func BenchmarkFig4a(b *testing.B) {
+	b.ReportAllocs()
 	prof := perf.PaperReferenceProfile()
 	for i := 0; i < b.N; i++ {
 		res := experiments.Fig4a(prof)
@@ -120,6 +126,7 @@ func BenchmarkFig4a(b *testing.B) {
 
 // BenchmarkFig4Budgets answers the Section IV worked examples (E7).
 func BenchmarkFig4Budgets(b *testing.B) {
+	b.ReportAllocs()
 	prof := perf.PaperReferenceProfile()
 	for i := 0; i < b.N; i++ {
 		res := experiments.Fig4Budgets(prof)
@@ -132,6 +139,7 @@ func BenchmarkFig4Budgets(b *testing.B) {
 
 // BenchmarkFig5Loop runs the closed-loop disturbance comparison (E8).
 func BenchmarkFig5Loop(b *testing.B) {
+	b.ReportAllocs()
 	prof := perf.PaperReferenceProfile()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig5(prof, benchOpts)
@@ -147,6 +155,7 @@ func BenchmarkFig5Loop(b *testing.B) {
 
 // BenchmarkAblationKnobs measures the knob-combination ranges (A1).
 func BenchmarkAblationKnobs(b *testing.B) {
+	b.ReportAllocs()
 	prof := perf.PaperReferenceProfile()
 	for i := 0; i < b.N; i++ {
 		res := experiments.AblationKnobs(prof)
@@ -159,6 +168,7 @@ func BenchmarkAblationKnobs(b *testing.B) {
 
 // BenchmarkAblationSwitching compares storage/switch costs (A2).
 func BenchmarkAblationSwitching(b *testing.B) {
+	b.ReportAllocs()
 	prof := perf.PaperReferenceProfile()
 	for i := 0; i < b.N; i++ {
 		res := experiments.AblationSwitching(prof)
@@ -171,6 +181,7 @@ func BenchmarkAblationSwitching(b *testing.B) {
 
 // BenchmarkAblationNoRTM compares RTM against a governor on Fig 2 (A3).
 func BenchmarkAblationNoRTM(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.AblationNoRTM(benchOpts)
 		if err != nil {
@@ -184,6 +195,7 @@ func BenchmarkAblationNoRTM(b *testing.B) {
 
 // BenchmarkMatMul measures the GEMM kernel at a conv-typical shape.
 func BenchmarkMatMul(b *testing.B) {
+	b.ReportAllocs()
 	rng := tensor.NewRNG(1)
 	a := tensor.New(256, 108)
 	c := tensor.New(108, 64)
@@ -197,6 +209,7 @@ func BenchmarkMatMul(b *testing.B) {
 
 // BenchmarkIm2Col measures the convolution lowering.
 func BenchmarkIm2Col(b *testing.B) {
+	b.ReportAllocs()
 	rng := tensor.NewRNG(2)
 	g := tensor.ConvGeom{InC: 16, InH: 32, InW: 32, Kernel: 3, Stride: 1, Pad: 1}
 	img := make([]float32, g.InC*g.InH*g.InW)
@@ -214,6 +227,7 @@ func BenchmarkIm2Col(b *testing.B) {
 // at each configuration level — the compute-scaling the perf model relies
 // on.
 func BenchmarkInferenceByLevel(b *testing.B) {
+	b.ReportAllocs()
 	m := dyndnn.MustNew(dyndnn.QuickConfig())
 	cfg := dataset.QuickConfig()
 	cfg.TrainN, cfg.ValN = 10, 10
@@ -222,6 +236,7 @@ func BenchmarkInferenceByLevel(b *testing.B) {
 	for level := 1; level <= m.Levels(); level++ {
 		level := level
 		b.Run(m.LevelName(level), func(b *testing.B) {
+			b.ReportAllocs()
 			m.SetLevel(level)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -233,6 +248,7 @@ func BenchmarkInferenceByLevel(b *testing.B) {
 
 // BenchmarkTrainingStep measures one SGD mini-batch step at full width.
 func BenchmarkTrainingStep(b *testing.B) {
+	b.ReportAllocs()
 	m := dyndnn.MustNew(dyndnn.QuickConfig())
 	cfg := dataset.QuickConfig()
 	cfg.TrainN, cfg.ValN = 64, 10
@@ -252,6 +268,7 @@ func BenchmarkTrainingStep(b *testing.B) {
 // BenchmarkSimScenarioSecond measures simulator throughput: one simulated
 // second of the Fig 2 workload per iteration (amortised).
 func BenchmarkSimScenarioSecond(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Fig2(benchOpts)
 		if err != nil {

@@ -1,0 +1,322 @@
+// Command fleetbench measures the simulator's three hot layers end to end
+// and records the numbers in a machine-readable BENCH_fleet.json — the
+// repo's perf trajectory file.
+//
+// Two kinds of measurement run:
+//
+//   - a seeded N-scenario × P-policy fleet sweep timed wall-clock, giving
+//     scenarios/sec (the number that bounds design-space exploration and
+//     learned-policy training set generation), plus per-scenario wall-time
+//     p50/p95;
+//   - Go testing.Benchmark micro-benchmarks of each hot layer — engine-run
+//     (one uncontrolled simulated run), replan (view build + policy plan +
+//     actuation against a live engine) and policy-plan per registered
+//     policy — each reporting ns/op, B/op and allocs/op.
+//
+// When -out points at an existing file, its "baseline" object is
+// preserved, so CI reruns keep the recorded pre-optimisation numbers next
+// to fresh ones and `benchstat`-style comparisons stay possible from one
+// artifact. Compare a before/after pair of bench runs with:
+//
+//	go test -run '^$' -bench 'PolicyPlan|Replan' -benchmem -count 10 ./internal/rtm > old.txt
+//	# ...apply a change...
+//	go test -run '^$' -bench 'PolicyPlan|Replan' -benchmem -count 10 ./internal/rtm > new.txt
+//	benchstat old.txt new.txt
+//
+// Usage:
+//
+//	fleetbench [-scenarios 64] [-seed 1] [-workers 0] [-policies a,b,c]
+//	           [-quick] [-out BENCH_fleet.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/emlrtm/emlrtm/internal/fleet"
+	"github.com/emlrtm/emlrtm/internal/hw"
+	"github.com/emlrtm/emlrtm/internal/rtm"
+	"github.com/emlrtm/emlrtm/internal/sim"
+	"github.com/emlrtm/emlrtm/internal/workload"
+)
+
+// BenchNumbers is one micro-benchmark's cost triple.
+type BenchNumbers struct {
+	NsPerOp     float64 `json:"nsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+// FleetNumbers is the throughput side: a timed fleet sweep.
+type FleetNumbers struct {
+	Scenarios       int      `json:"scenarios"`
+	Policies        []string `json:"policies"`
+	Runs            int      `json:"runs"` // scenarios × policies
+	Workers         int      `json:"workers"`
+	Seed            uint64   `json:"seed"`
+	WallSeconds     float64  `json:"wallSeconds"`
+	ScenariosPerSec float64  `json:"scenariosPerSec"`
+	P50WallMs       float64  `json:"p50WallMs"`
+	P95WallMs       float64  `json:"p95WallMs"`
+	MaxWallMs       float64  `json:"maxWallMs"`
+}
+
+// Numbers is one complete measurement set.
+type Numbers struct {
+	Timestamp  string                  `json:"timestamp,omitempty"`
+	GoVersion  string                  `json:"goVersion,omitempty"`
+	GOMAXPROCS int                     `json:"gomaxprocs,omitempty"`
+	Note       string                  `json:"note,omitempty"`
+	Fleet      FleetNumbers            `json:"fleet"`
+	Benchmarks map[string]BenchNumbers `json:"benchmarks"`
+}
+
+// Doc is the BENCH_fleet.json schema: the recorded baseline (kept across
+// reruns) and the current measurement.
+type Doc struct {
+	Schema   int      `json:"schema"`
+	Baseline *Numbers `json:"baseline,omitempty"`
+	Current  Numbers  `json:"current"`
+}
+
+func main() {
+	scenarios := flag.Int("scenarios", 64, "workloads in the timed fleet sweep (total runs = scenarios × policies)")
+	seed := flag.Uint64("seed", 1, "master fleet seed")
+	workers := flag.Int("workers", 0, "fleet worker pool size (0 = NumCPU)")
+	policies := flag.String("policies", "heuristic,maxaccuracy,minenergy", "comma-separated policies for the sweep")
+	quick := flag.Bool("quick", false, "CI smoke mode: a small sweep (8 scenarios)")
+	out := flag.String("out", "BENCH_fleet.json", "output file; an existing file's baseline object is preserved (\"-\" = stdout)")
+	note := flag.String("note", "", "free-form annotation stored with the measurement")
+	flag.Parse()
+
+	if *quick {
+		*scenarios = 8
+	}
+	pols := strings.Split(*policies, ",")
+	for _, p := range pols {
+		if _, err := rtm.NewPolicy(p); err != nil {
+			log.Fatalf("fleetbench: %v", err)
+		}
+	}
+
+	cur := Numbers{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       *note,
+		Benchmarks: map[string]BenchNumbers{},
+	}
+
+	// ---- Fleet throughput sweep ----
+	fmt.Fprintf(os.Stderr, "fleetbench: sweep %d scenarios x %d policies...\n", *scenarios, len(pols))
+	fn, err := sweep(*seed, *scenarios, *workers, pols)
+	if err != nil {
+		log.Fatalf("fleetbench: %v", err)
+	}
+	cur.Fleet = fn
+	fmt.Fprintf(os.Stderr, "fleetbench: %.1f scenarios/sec (%d runs in %.2fs)\n",
+		fn.ScenariosPerSec, fn.Runs, fn.WallSeconds)
+
+	// ---- Hot-layer micro-benchmarks ----
+	cur.Benchmarks["engine-run"] = record("engine-run", benchEngineRun)
+	cur.Benchmarks["replan"] = record("replan", benchReplan)
+	for _, p := range pols {
+		cur.Benchmarks["policy-plan/"+p] = record("policy-plan/"+p, benchPolicyPlan(p))
+	}
+
+	doc := Doc{Schema: 1, Current: cur}
+	if *out != "-" {
+		if prev, err := os.ReadFile(*out); err == nil {
+			var old Doc
+			if json.Unmarshal(prev, &old) == nil {
+				doc.Baseline = old.Baseline
+			}
+		}
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		log.Fatalf("fleetbench: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "-" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		log.Fatalf("fleetbench: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "fleetbench: wrote %s\n", *out)
+}
+
+// sweep times a full fleet run and derives throughput plus per-scenario
+// wall-time percentiles.
+func sweep(seed uint64, scenarios, workers int, pols []string) (FleetNumbers, error) {
+	cfg := fleet.GeneratorConfig{Seed: seed, Policies: pols}
+	gen, err := fleet.NewGenerator(cfg)
+	if err != nil {
+		return FleetNumbers{}, err
+	}
+	scens := gen.Generate(gen.RunCount(scenarios))
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	// Pooled pass: the throughput number. DropLatencies matches how a
+	// million-scenario fleet would actually run.
+	runner := &fleet.Runner{Workers: workers, DropLatencies: true}
+	start := time.Now()
+	results := runner.Run(scens)
+	total := time.Since(start)
+	for _, r := range results {
+		if r.Err != "" {
+			return FleetNumbers{}, fmt.Errorf("scenario %d failed: %s", r.ID, r.Err)
+		}
+	}
+
+	// Serial sampled pass: per-scenario wall-time percentiles, free of
+	// pool scheduling noise and bounded so fleetbench stays cheap.
+	sample := len(scens)
+	if sample > 32 {
+		sample = 32
+	}
+	ms := make([]float64, 0, sample)
+	for i := 0; i < sample; i++ {
+		t0 := time.Now()
+		fleet.RunOne(scens[i])
+		ms = append(ms, float64(time.Since(t0).Nanoseconds())/1e6)
+	}
+	sort.Float64s(ms)
+	fn := FleetNumbers{
+		Scenarios:       scenarios,
+		Policies:        pols,
+		Runs:            len(scens),
+		Workers:         workers,
+		Seed:            seed,
+		WallSeconds:     total.Seconds(),
+		ScenariosPerSec: float64(len(scens)) / total.Seconds(),
+	}
+	if n := len(ms); n > 0 {
+		fn.P50WallMs = ms[(n-1)/2]
+		fn.P95WallMs = ms[min(n-1, int(float64(n)*0.95+0.5)-1)]
+		fn.MaxWallMs = ms[n-1]
+	}
+	return fn, nil
+}
+
+// record runs one testing.Benchmark and prints + returns its numbers.
+func record(name string, fn func(b *testing.B)) BenchNumbers {
+	res := testing.Benchmark(fn)
+	n := BenchNumbers{
+		NsPerOp:     float64(res.NsPerOp()),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+	fmt.Fprintf(os.Stderr, "fleetbench: %-24s %12.0f ns/op %8d B/op %6d allocs/op\n",
+		name, n.NsPerOp, n.BytesPerOp, n.AllocsPerOp)
+	return n
+}
+
+func benchApps() []sim.App {
+	// The canonical mobile-vision profile the rtm/sim benchmarks model, so
+	// the trajectory file stays comparable if the profile is ever retuned.
+	prof := workload.MobileProfile()
+	return []sim.App{
+		{Name: "dnn1", Kind: sim.KindDNN, Profile: prof, Level: 4, PeriodS: 0.040,
+			ModelBytes: 7 << 20, Placement: sim.Placement{Cluster: "npu"}},
+		{Name: "dnn2", Kind: sim.KindDNN, Profile: prof, Level: 4, PeriodS: 1.0 / 60,
+			ModelBytes: 7 << 20, Placement: sim.Placement{Cluster: "cpu-big", Cores: 4}},
+		{Name: "dnn3", Kind: sim.KindDNN, Profile: prof, Level: 2, PeriodS: 0.100,
+			ModelBytes: 7 << 20, Placement: sim.Placement{Cluster: "cpu-lit", Cores: 2}},
+		{Name: "vr", Kind: sim.KindRender, Util: 0.6, Placement: sim.Placement{Cluster: "gpu"}},
+		{Name: "bg", Kind: sim.KindBackground, Util: 0.4, Placement: sim.Placement{Cluster: "cpu-lit", Cores: 1}},
+	}
+}
+
+// benchEngineRun measures one uncontrolled 10-simulated-second run — the
+// cmd-level twin of internal/sim's BenchmarkEngineRun.
+func benchEngineRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e, err := sim.New(sim.Config{Platform: hw.FlagshipSoC(), Apps: benchApps()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Run(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchReplan measures the full manager path against a warmed-up engine —
+// the cmd-level twin of internal/rtm's BenchmarkReplan.
+func benchReplan(b *testing.B) {
+	mgr := rtm.NewManager(map[string]rtm.Requirement{
+		"dnn1": {MinAccuracy: 0.70, Priority: 1},
+		"dnn2": {MinAccuracy: 0.70, Priority: 2},
+		"dnn3": {Priority: 1},
+	})
+	e, err := sim.New(sim.Config{
+		Platform:   hw.FlagshipSoC(),
+		Apps:       benchApps(),
+		Controller: mgr,
+		TickS:      fleet.TickS,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Run(2); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mgr.Replan(e)
+	}
+}
+
+// benchPolicyPlan measures one Plan over a realistic warmed-up view for
+// the named policy. The view is the manager's last planning input
+// (LastView) after a short managed run — equivalent content to the
+// internal benchmark's direct view build, reachable through the public
+// API.
+func benchPolicyPlan(name string) func(b *testing.B) {
+	return func(b *testing.B) {
+		p, err := rtm.NewPolicy(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mgr := rtm.NewManager(map[string]rtm.Requirement{
+			"dnn1": {MinAccuracy: 0.70, Priority: 1},
+			"dnn2": {MinAccuracy: 0.70, Priority: 2},
+			"dnn3": {Priority: 1},
+		})
+		e, err := sim.New(sim.Config{
+			Platform:   hw.FlagshipSoC(),
+			Apps:       benchApps(),
+			Controller: mgr,
+			TickS:      fleet.TickS,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Run(2); err != nil {
+			b.Fatal(err)
+		}
+		v := mgr.LastView()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if plan := p.Plan(v); len(plan) == 0 {
+				b.Fatal("empty plan")
+			}
+		}
+	}
+}

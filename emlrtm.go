@@ -158,6 +158,11 @@ type (
 	Controller = sim.Controller
 	// Event is an observable simulator event.
 	Event = sim.Event
+	// SimSnapshot is a read-only capture of the engine's observable state.
+	// Engine.Snapshot allocates a fresh one; controllers on a hot loop
+	// rebuild an existing snapshot in place with Engine.SnapshotInto, and
+	// policies' views clone without allocating via View.CloneInto.
+	SimSnapshot = sim.Snapshot
 
 	// Manager is the paper's runtime resource manager (Fig 5): the
 	// actuation shell around a pluggable planning Policy.

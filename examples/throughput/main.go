@@ -1,0 +1,65 @@
+// Throughput tuning: run the same seeded fleet twice — once carrying the
+// raw per-job latency samples and once with them dropped (the fleetsim
+// -nolat switch, FleetRunner.DropLatencies here) — and compare wall time
+// and result size. Dropping samples is what makes million-scenario sweeps
+// (learned-policy training data, design-space exploration) practical: the
+// scalar per-scenario mean/p95/max stats survive, only the pooled group
+// percentile degrades to the worst per-scenario p95.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"time"
+
+	emlrtm "github.com/emlrtm/emlrtm"
+)
+
+func main() {
+	const scenarios, seed = 48, 7
+
+	gen, err := emlrtm.NewFleetGenerator(emlrtm.FleetGeneratorConfig{Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	scens := gen.Generate(scenarios)
+
+	run := func(drop bool) (emlrtm.FleetReport, []emlrtm.FleetResult, time.Duration) {
+		runner := &emlrtm.FleetRunner{DropLatencies: drop}
+		start := time.Now()
+		results := runner.Run(scens)
+		wall := time.Since(start)
+		return emlrtm.AggregateFleet(seed, results), results, wall
+	}
+
+	repFull, resFull, wallFull := run(false)
+	repLean, resLean, wallLean := run(true)
+
+	sizeOf := func(res []emlrtm.FleetResult) int {
+		b, err := json.Marshal(res)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return len(b)
+	}
+	fullBytes, leanBytes := sizeOf(resFull), sizeOf(resLean)
+
+	fmt.Printf("fleet of %d scenarios (seed %d)\n\n", scenarios, seed)
+	fmt.Printf("%-18s %12s %14s %12s\n", "", "wall", "results JSON", "scen/sec")
+	fmt.Printf("%-18s %12v %13.1fK %12.1f\n", "with latencies",
+		wallFull.Round(time.Millisecond), float64(fullBytes)/1024,
+		float64(scenarios)/wallFull.Seconds())
+	fmt.Printf("%-18s %12v %13.1fK %12.1f\n", "-nolat",
+		wallLean.Round(time.Millisecond), float64(leanBytes)/1024,
+		float64(scenarios)/wallLean.Seconds())
+	fmt.Printf("\nresult payload shrinks %.1fx; per-scenario scalar stats survive:\n",
+		float64(fullBytes)/float64(leanBytes))
+
+	fmt.Printf("  pooled  mean %.2f ms  p95 %6.2f ms  max %6.2f ms\n",
+		1000*repFull.Overall.MeanLatencyS, 1000*repFull.Overall.P95LatencyS,
+		1000*repFull.Overall.MaxLatencyS)
+	fmt.Printf("  -nolat  mean %.2f ms  p95 %6.2f ms  max %6.2f ms  (p95 approximated)\n",
+		1000*repLean.Overall.MeanLatencyS, 1000*repLean.Overall.P95LatencyS,
+		1000*repLean.Overall.MaxLatencyS)
+}

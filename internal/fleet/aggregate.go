@@ -1,6 +1,9 @@
 package fleet
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // GroupStats summarises one slice of the fleet (overall, per platform, or
 // per class). Rates are frame-weighted across the group's scenarios;
@@ -49,6 +52,12 @@ type group struct {
 	stats     GroupStats
 	latencies []float64
 	latSum    float64
+	// Scalar fallback for results whose raw Latencies were dropped
+	// (Runner.DropLatencies / fleetsim -nolat): the group mean stays exact
+	// (per-scenario mean × completion count), the group p95 is
+	// approximated by the worst per-scenario p95.
+	scalarCount int
+	scalarP95   float64
 }
 
 func (g *group) add(r Result) {
@@ -72,9 +81,21 @@ func (g *group) add(r Result) {
 	if r.MaxLatencyS > s.MaxLatencyS {
 		s.MaxLatencyS = r.MaxLatencyS
 	}
-	g.latencies = append(g.latencies, r.Latencies...)
-	for _, l := range r.Latencies {
-		g.latSum += l
+	switch {
+	case len(r.Latencies) > 0:
+		g.latencies = append(g.latencies, r.Latencies...)
+		for _, l := range r.Latencies {
+			g.latSum += l
+		}
+	case r.Completed > 0:
+		// Latency samples were dropped at run time; fold the scalars. Each
+		// completion contributed exactly one sample, so mean × completed
+		// reconstructs the group latency sum.
+		g.scalarCount += r.Completed
+		g.latSum += r.MeanLatencyS * float64(r.Completed)
+		if r.P95LatencyS > g.scalarP95 {
+			g.scalarP95 = r.P95LatencyS
+		}
 	}
 }
 
@@ -83,9 +104,18 @@ func (g *group) finalise() GroupStats {
 	if s.Frames > 0 {
 		s.MissRate = float64(s.Missed+s.Dropped) / float64(s.Frames)
 	}
+	if n := len(g.latencies) + g.scalarCount; n > 0 {
+		s.MeanLatencyS = g.latSum / float64(n)
+	}
 	if len(g.latencies) > 0 {
-		s.MeanLatencyS = g.latSum / float64(len(g.latencies))
-		s.P95LatencyS = percentile(g.latencies, 0.95)
+		// The group owns its pooled copy, so one in-place sort serves
+		// every order statistic (p95 today, any quantile tomorrow) —
+		// percentile() would copy and re-sort per call.
+		sort.Float64s(g.latencies)
+		s.P95LatencyS = percentileSorted(g.latencies, 0.95)
+	}
+	if g.scalarP95 > s.P95LatencyS {
+		s.P95LatencyS = g.scalarP95
 	}
 	if s.SimSeconds > 0 {
 		s.ThermalRate = s.OverThrottleS / s.SimSeconds

@@ -3,6 +3,7 @@ package fleet
 import (
 	"encoding/json"
 	"math"
+	"sort"
 	"testing"
 )
 
@@ -49,6 +50,95 @@ func TestPercentileEdgeCases(t *testing.T) {
 			t.Errorf("%s: percentile(n=%d, p=%g) = %g, want %g",
 				tc.name, len(tc.samples), tc.p, got, tc.want)
 		}
+	}
+}
+
+// TestPercentileSortedMatchesPercentile pins the sorted-once fast path
+// against the copy-and-sort-per-quantile reference: for every table the
+// p50/p95/max read off one sorted copy must be identical to calling
+// percentile per quantile. This is what lets group finalisation (and the
+// runner's per-scenario stats) sort each pooled latency slice exactly
+// once.
+func TestPercentileSortedMatchesPercentile(t *testing.T) {
+	tables := map[string][]float64{
+		"empty":      nil,
+		"single":     {3.25},
+		"sorted":     {1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+		"reversed":   {10, 9, 8, 7, 6, 5, 4, 3, 2, 1},
+		"unsorted":   {9, 1, 5, 7, 3},
+		"duplicates": {2, 2, 2, 1, 1, 3, 3, 3, 3, 2},
+		"negatives":  {-5, 3, -1, 0, 2, -4},
+		"latencies":  {0.016, 0.033, 0.017, 0.040, 0.016, 0.250, 0.017, 0.018},
+	}
+	quantiles := []float64{0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1}
+	for name, samples := range tables {
+		sorted := append([]float64(nil), samples...)
+		sort.Float64s(sorted)
+		for _, p := range quantiles {
+			want := percentile(samples, p)
+			if got := percentileSorted(sorted, p); got != want {
+				t.Errorf("%s: percentileSorted(p=%g) = %g, want %g (percentile reference)",
+					name, p, got, want)
+			}
+		}
+		if len(sorted) > 0 {
+			if max := sorted[len(sorted)-1]; max != percentile(samples, 1) {
+				t.Errorf("%s: sorted max %g != percentile(p=1) %g", name, max, percentile(samples, 1))
+			}
+		}
+	}
+}
+
+// TestAggregateScalarFallback: results whose raw Latencies were dropped
+// (Runner.DropLatencies) still contribute exact group means — each
+// completion carried exactly one latency sample, so mean × completed
+// reconstructs the sum — and the group p95 degrades to the worst
+// per-scenario p95.
+func TestAggregateScalarFallback(t *testing.T) {
+	full := Result{
+		ID: 0, Class: ClassSteady, Platform: "jetson-nano",
+		Released: 4, Completed: 4,
+		DurationS: 10, Latencies: []float64{1, 2, 3, 4},
+		MeanLatencyS: 2.5, P95LatencyS: 4, MaxLatencyS: 4,
+	}
+	dropped := full
+	dropped.ID = 1
+	dropped.Latencies = nil
+
+	// All-scalar group: exact mean, p95 from the per-scenario p95.
+	rep := Aggregate(1, []Result{dropped})
+	if g := rep.Overall; g.MeanLatencyS != 2.5 || g.P95LatencyS != 4 || g.MaxLatencyS != 4 {
+		t.Errorf("scalar-only group stats = mean %g p95 %g max %g, want 2.5/4/4",
+			g.MeanLatencyS, g.P95LatencyS, g.MaxLatencyS)
+	}
+
+	// Mixed group: the mean must still be the exact pooled mean.
+	other := Result{
+		ID: 2, Class: ClassSteady, Platform: "jetson-nano",
+		Released: 2, Completed: 2,
+		DurationS: 10, Latencies: []float64{5, 6},
+		MeanLatencyS: 5.5, P95LatencyS: 6, MaxLatencyS: 6,
+	}
+	rep = Aggregate(1, []Result{dropped, other})
+	wantMean := (1.0 + 2 + 3 + 4 + 5 + 6) / 6
+	if g := rep.Overall; g.MeanLatencyS != wantMean {
+		t.Errorf("mixed group mean = %g, want %g", g.MeanLatencyS, wantMean)
+	}
+	if g := rep.Overall; g.MaxLatencyS != 6 {
+		t.Errorf("mixed group max = %g, want 6", g.MaxLatencyS)
+	}
+
+	// A full-sample fleet must be unaffected by the fallback machinery:
+	// identical report with and without a no-op scalar path.
+	exact := Aggregate(1, []Result{full, other})
+	ej, _ := json.Marshal(exact.Overall)
+	want := GroupStats{
+		Scenarios: 2, Frames: 6, Completed: 6,
+		MeanLatencyS: 3.5, P95LatencyS: 6, MaxLatencyS: 6, SimSeconds: 20,
+	}
+	wj, _ := json.Marshal(want)
+	if string(ej) != string(wj) {
+		t.Errorf("full-sample aggregate changed:\n got %s\nwant %s", ej, wj)
 	}
 }
 

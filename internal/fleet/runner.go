@@ -17,7 +17,9 @@ import (
 // raw per-job samples Aggregate pools for percentiles; it is part of the
 // JSON encoding so results can round-trip through a file and be merged
 // across processes (the ROADMAP's distributed-fleet path) without silently
-// zeroing the pooled latency stats.
+// zeroing the pooled latency stats. The field is optional: runs made with
+// Runner.DropLatencies (fleetsim -nolat) omit it to keep million-scenario
+// shard files small, and Aggregate then falls back to the scalar stats.
 type Result struct {
 	ID       int    `json:"id"`
 	Name     string `json:"name"`
@@ -56,10 +58,27 @@ type Result struct {
 // comparable across scenarios.
 const TickS = 0.25
 
+// latBufs is one worker's reusable latency scratch: raw collects samples
+// in event order, sorted is the one sorted copy every percentile reads
+// from. Pooled because a fleet run executes thousands of scenarios per
+// worker and the per-scenario copies were the runner's dominant
+// allocation; the published Result only ever gets an exact-size copy.
+type latBufs struct {
+	raw    []float64
+	sorted []float64
+}
+
+var latPool = sync.Pool{New: func() any { return new(latBufs) }}
+
 // RunOne executes a single scenario to completion. It is a pure function
 // of the scenario (fresh platform, fresh manager, no logging), which is
 // what makes fleet results independent of scheduling.
-func RunOne(s Scenario) Result {
+func RunOne(s Scenario) Result { return runOne(s, true) }
+
+// runOne is RunOne with control over whether the raw per-job Latencies
+// samples are published on the Result (dropping them keeps the scalar
+// mean/p95/max stats).
+func runOne(s Scenario, keepLatencies bool) Result {
 	script := s.Script
 	if script.Policy == "" {
 		// Hand-built scenarios may set only the outer Policy field.
@@ -105,40 +124,64 @@ func RunOne(s Scenario) Result {
 		res.Missed += a.Missed
 		res.Dropped += a.Dropped
 	}
+	sc := latPool.Get().(*latBufs)
+	defer latPool.Put(sc)
+	raw := sc.raw[:0]
 	for _, ev := range rep.Events {
 		if ev.Kind == sim.EvJobComplete || ev.Kind == sim.EvDeadlineMiss {
-			res.Latencies = append(res.Latencies, ev.LatencyS)
+			raw = append(raw, ev.LatencyS)
 		}
 	}
+	sc.raw = raw
 	var sum float64
-	for _, l := range res.Latencies {
+	for _, l := range raw {
 		sum += l
-		if l > res.MaxLatencyS {
-			res.MaxLatencyS = l
-		}
 	}
-	if len(res.Latencies) > 0 {
-		res.MeanLatencyS = sum / float64(len(res.Latencies))
-		res.P95LatencyS = percentile(res.Latencies, 0.95)
+	if len(raw) > 0 {
+		// One sorted copy serves every order statistic.
+		sorted := append(sc.sorted[:0], raw...)
+		sc.sorted = sorted
+		sort.Float64s(sorted)
+		res.MeanLatencyS = sum / float64(len(raw))
+		res.P95LatencyS = percentileSorted(sorted, 0.95)
+		res.MaxLatencyS = sorted[len(sorted)-1]
+	}
+	if keepLatencies && len(raw) > 0 {
+		// Publish an exact-size copy in event order: the pooled buffer
+		// never escapes, and append-growth slack never reaches the Result.
+		res.Latencies = make([]float64, len(raw))
+		copy(res.Latencies, raw)
 	}
 	return res
 }
 
-// percentile returns the p-quantile (nearest-rank) of the samples.
+// percentile returns the p-quantile (nearest-rank) of the samples. It
+// copies and sorts per call; callers needing several quantiles should sort
+// once and use percentileSorted for each read.
 func percentile(samples []float64, p float64) float64 {
 	if len(samples) == 0 {
 		return 0
 	}
 	s := append([]float64(nil), samples...)
 	sort.Float64s(s)
-	idx := int(float64(len(s))*p+0.5) - 1
+	return percentileSorted(s, p)
+}
+
+// percentileSorted returns the p-quantile (nearest-rank) of samples that
+// are already sorted ascending — percentile without the per-quantile copy
+// and sort, so p50/p95/max reads off one sorted slice share a single sort.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted))*p+0.5) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= len(s) {
-		idx = len(s) - 1
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
 	}
-	return s[idx]
+	return sorted[idx]
 }
 
 // Runner fans scenarios out over a bounded worker pool.
@@ -149,6 +192,13 @@ type Runner struct {
 	// number done so far and the total. Calls arrive from worker
 	// goroutines; the callback must be safe for concurrent use.
 	Progress func(done, total int)
+	// DropLatencies omits the raw per-job Latencies samples from every
+	// Result (the fleetsim -nolat switch). The scalar per-scenario
+	// mean/p95/max stay exact; what is lost is the pooled group
+	// percentile, which Aggregate then approximates from the per-scenario
+	// p95s. Raw samples dominate result and shard-file size, so
+	// million-scenario fleets run with this set.
+	DropLatencies bool
 }
 
 // Run executes all scenarios and returns results indexed by scenario
@@ -165,7 +215,7 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 	}
 	if workers <= 1 {
 		for i, s := range scenarios {
-			results[i] = RunOne(s)
+			results[i] = runOne(s, !r.DropLatencies)
 			if r.Progress != nil {
 				r.Progress(i+1, len(scenarios))
 			}
@@ -183,7 +233,7 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 				if i >= len(scenarios) {
 					return
 				}
-				results[i] = RunOne(scenarios[i])
+				results[i] = runOne(scenarios[i], !r.DropLatencies)
 				if r.Progress != nil {
 					r.Progress(int(done.Add(1)), len(scenarios))
 				}

@@ -98,6 +98,7 @@ func BenchmarkReplan(b *testing.B) {
 	if err := e.Run(1); err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		mgr.Replan(e)

@@ -30,33 +30,34 @@ func (heuristicPolicy) Name() string { return "heuristic" }
 
 // Plan implements Policy.
 func (heuristicPolicy) Plan(v View) []Assignment {
-	st := newPlanState(&v)
-	var plan []Assignment
-	for _, a := range plannableDNNs(&v) {
-		plan = append(plan, heuristicAssign(&v, st, a))
-	}
-	return plan
+	return pooledPlan(&v, heuristicAssign)
+}
+
+// planInto implements scratchPlanner: the Manager's allocation-free path.
+func (heuristicPolicy) planInto(v *View, sc *planScratch) []Assignment {
+	return planWith(v, sc, heuristicAssign)
 }
 
 // heuristicAssign finds the best operating point for one app given the
 // ledger, and commits the resources.
-func heuristicAssign(v *View, st *planState, a sim.AppInfo) Assignment {
+func heuristicAssign(v *View, st *planState, sc *planScratch, a sim.AppInfo) Assignment {
 	req := v.Req(a)
 	minLevel := minLevelMeeting(a, req.MinAccuracy)
 
 	// Pass 1: exactly the minimal level meeting the accuracy requirement.
 	if a.Profile.Level(minLevel).Accuracy >= req.MinAccuracy {
-		if c, ok := heuristicBest(v, st, a, req, []int{minLevel}, false); ok {
+		sc.levels = append(sc.levels[:0], minLevel)
+		if c, ok := heuristicBest(v, st, sc, a, req, sc.levels, false); ok {
 			return st.commit(a, c, 1)
 		}
 	}
 	// Pass 2: accuracy relaxed — maximise accuracy among feasible points.
-	levels := descendingLevels(a)
-	if c, ok := heuristicBest(v, st, a, req, levels, false); ok {
+	sc.levels = descendingLevels(a, sc.levels)
+	if c, ok := heuristicBest(v, st, sc, a, req, sc.levels, false); ok {
 		return st.commit(a, c, 2)
 	}
 	// Pass 3: best effort — minimise latency subject to the power budget.
-	if c, ok := heuristicBest(v, st, a, req, levels, true); ok {
+	if c, ok := heuristicBest(v, st, sc, a, req, sc.levels, true); ok {
 		return st.commit(a, c, 3)
 	}
 	// Nothing fits at all (power budget exhausted).
@@ -66,8 +67,8 @@ func heuristicAssign(v *View, st *planState, a sim.AppInfo) Assignment {
 // heuristicBest enumerates feasible candidates over the level list and
 // returns the winner. In best-effort mode latency/duty feasibility is
 // dropped; only power, cores and memory bind, and the objective becomes
-// minimum latency.
-func heuristicBest(v *View, st *planState, a sim.AppInfo, req Requirement, levels []int, bestEffort bool) (candidate, bool) {
+// minimum latency. levels may alias sc.levels; only sc.opts is consumed.
+func heuristicBest(v *View, st *planState, sc *planScratch, a sim.AppInfo, req Requirement, levels []int, bestEffort bool) (candidate, bool) {
 	var best candidate
 	found := false
 	better := func(c candidate) bool {
@@ -91,17 +92,18 @@ func heuristicBest(v *View, st *planState, a sim.AppInfo, req Requirement, level
 		}
 		return cost(c) < cost(best)
 	}
-	for _, cl := range v.Platform.Clusters {
-		for _, cores := range coreOptions(cl, st) {
+	for ci, cl := range v.Platform.Clusters {
+		sc.opts = coreOptions(cl, st, ci, sc.opts)
+		for _, cores := range sc.opts {
 			for _, level := range levels {
 				oppIdx, ok := len(cl.OPPs)-1, true
 				if !bestEffort {
-					oppIdx, ok = chooseOPP(cl, st.oppNeed[cl.Name], cores, a.Profile.Level(level).MACs, req.MaxLatencyS)
+					oppIdx, ok = chooseOPP(cl, st.oppNeed[ci], cores, a.Profile.Level(level).MACs, req.MaxLatencyS)
 				}
 				if !ok {
 					continue
 				}
-				c, ok := evalCandidate(st, a, req, cl, cores, level, oppIdx, bestEffort)
+				c, ok := evalCandidate(st, a, req, cl, ci, cores, level, oppIdx, bestEffort)
 				if !ok {
 					continue
 				}

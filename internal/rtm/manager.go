@@ -74,6 +74,20 @@ type Manager struct {
 	last         []Assignment
 	lastView     View
 	lastMissPlan float64
+
+	// Replan scratch: the manager replans every controller tick, so the
+	// planning input (engine snapshot + view), the defensive policy copy,
+	// the policy's working buffers and the actuation indexes are all
+	// rebuilt in place instead of reallocated. Handed-out state stays
+	// defensive — LastPlan and LastView copy on read.
+	snap       sim.Snapshot
+	viewReqs   map[string]Requirement
+	policyView View
+	scratch    planScratch
+	curApps    map[string]sim.AppInfo
+	renderOn   map[string]bool
+	levelKnobs map[string]*Knob
+	oppKnobs   map[string]*Knob
 }
 
 // NewManager builds a manager with the given per-app requirements (keyed
@@ -183,29 +197,34 @@ func (m *Manager) OnEvent(e *sim.Engine, ev sim.Event) {
 }
 
 // buildView snapshots the engine and the manager's thermal stance into the
-// read-only planning input. Apps and clusters are value copies from the
+// read-only planning input, rebuilding the manager's scratch snapshot and
+// requirement map in place. Apps and clusters are value copies from the
 // engine snapshot and the requirement map is rebuilt per view, so handing
 // the view to a policy exposes no internal mutable state.
 func (m *Manager) buildView(e *sim.Engine) View {
-	snap := e.Snapshot()
+	e.SnapshotInto(&m.snap)
 	plat := e.Platform()
 	margin := m.BaseMarginC + float64(m.pressure)*m.PressureStepC
-	capW := plat.Thermal.PowerBudgetW(snap.AmbientC, plat.Thermal.ThrottleC-margin)
+	capW := plat.Thermal.PowerBudgetW(m.snap.AmbientC, plat.Thermal.ThrottleC-margin)
+	if m.viewReqs == nil {
+		m.viewReqs = map[string]Requirement{}
+	}
+	clear(m.viewReqs)
 	v := View{
-		NowS:        snap.TimeS,
-		AmbientC:    snap.AmbientC,
-		TempC:       snap.TempC,
-		ThrottleC:   snap.ThrottleC,
+		NowS:        m.snap.TimeS,
+		AmbientC:    m.snap.AmbientC,
+		TempC:       m.snap.TempC,
+		ThrottleC:   m.snap.ThrottleC,
 		MarginC:     margin,
 		DynBudgetMW: capW * 1000,
 		Platform:    plat,
-		Apps:        snap.Apps,
-		Clusters:    snap.Clusters,
-		Reqs:        map[string]Requirement{},
+		Apps:        m.snap.Apps,
+		Clusters:    m.snap.Clusters,
+		Reqs:        m.viewReqs,
 	}
-	for _, a := range snap.Apps {
+	for _, a := range m.snap.Apps {
 		if a.Kind == sim.KindDNN {
-			v.Reqs[a.Name] = m.Requirement(a.Name, a.PeriodS)
+			m.viewReqs[a.Name] = m.Requirement(a.Name, a.PeriodS)
 		}
 	}
 	return v
@@ -225,15 +244,29 @@ func (m *Manager) Replan(e *sim.Engine) {
 	v := m.buildView(e)
 	// The policy gets its own clone: a policy that scribbles on its
 	// View's runtime state cannot corrupt the copy actuation and
-	// LastView read from.
-	plan := m.policy.Plan(v.Clone())
+	// LastView read from. Built-in policies additionally plan through the
+	// manager-owned scratch buffers (the allocation-free hot path);
+	// third-party policies go through the public Plan contract.
+	v.CloneInto(&m.policyView)
+	var plan []Assignment
+	if sp, ok := m.policy.(scratchPlanner); ok {
+		plan = sp.planInto(&m.policyView, &m.scratch)
+	} else {
+		plan = m.policy.Plan(m.policyView)
+	}
+	// Publish into manager-owned storage *before* any callback can run:
+	// plan aliases the policy scratch and v aliases the snapshot scratch,
+	// both of which the next replan rewrites in place — a Logf (or later
+	// OnTick) caller reading LastPlan/LastView must never observe a stale
+	// slice header over a rewritten backing array. Both copies reuse their
+	// destination buffers, so the hot path stays allocation-free.
+	m.last = append(m.last[:0], plan...)
+	v.CloneInto(&m.lastView)
 	for _, asg := range plan {
 		m.logf("rtm: t=%.2fs plan %s -> %s/%d cores, level %d, opp %d (pass %d, %.1fms, %.0fmW)",
 			v.NowS, asg.App, asg.Placement.Cluster, asg.Placement.Cores, asg.Level,
 			asg.OPPIndex, asg.Pass, asg.LatencyS*1000, asg.DynPowMW)
 	}
-	m.last = plan
-	m.lastView = v
 	m.actuate(e, v, plan)
 }
 
@@ -244,8 +277,16 @@ func (m *Manager) Replan(e *sim.Engine) {
 // plus the render pin, so actuation depends only on (view, plan) — not on
 // policy-internal ledgers.
 func (m *Manager) actuate(e *sim.Engine, v View, plan []Assignment) {
-	current := map[string]sim.AppInfo{}
-	for _, a := range e.Apps() {
+	// The view was snapshotted from this engine within the same replan, so
+	// it *is* the current state — indexing it avoids re-querying the
+	// engine. Both indexes are manager scratch, cleared per actuation.
+	if m.curApps == nil {
+		m.curApps = map[string]sim.AppInfo{}
+		m.renderOn = map[string]bool{}
+	}
+	current := m.curApps
+	clear(current)
+	for _, a := range v.Apps {
 		current[a.Name] = a
 	}
 	for _, asg := range plan {
@@ -284,7 +325,8 @@ func (m *Manager) actuate(e *sim.Engine, v View, plan []Assignment) {
 	// DVFS: clusters hosting DNNs get the highest OPP their assignments
 	// committed; render clusters run flat out; everything else drops to
 	// minimum.
-	renderOn := map[string]bool{}
+	renderOn := m.renderOn
+	clear(renderOn)
 	for _, a := range v.Apps {
 		if a.Running && a.Kind == sim.KindRender {
 			renderOn[a.Placement.Cluster] = true
@@ -305,9 +347,12 @@ func (m *Manager) actuate(e *sim.Engine, v View, plan []Assignment) {
 }
 
 // setLevel/setOPP actuate through the registry knobs (Fig 5's interface),
-// falling back to direct engine calls before the registry exists.
+// falling back to direct engine calls before the registry exists. The
+// knob pointers are cached by app/cluster name at registry build time:
+// actuation happens every replan, and re-deriving "app.<name>.level" keys
+// would allocate a string per knob per tick.
 func (m *Manager) setLevel(e *sim.Engine, app string, level int) {
-	if k := m.registry.Knob("app." + app + ".level"); k != nil {
+	if k := m.levelKnobs[app]; k != nil {
 		if err := k.Set(level); err != nil {
 			m.logf("rtm: level %s=%d: %v", app, level, err)
 		}
@@ -319,7 +364,7 @@ func (m *Manager) setLevel(e *sim.Engine, app string, level int) {
 }
 
 func (m *Manager) setOPP(e *sim.Engine, cluster string, idx int) {
-	if k := m.registry.Knob("dev." + cluster + ".opp"); k != nil {
+	if k := m.oppKnobs[cluster]; k != nil {
 		if err := k.Set(idx); err != nil {
 			m.logf("rtm: opp %s=%d: %v", cluster, idx, err)
 		}
@@ -334,16 +379,20 @@ func (m *Manager) setOPP(e *sim.Engine, cluster string, idx int) {
 // registry — the concrete realisation of Fig 5.
 func (m *Manager) buildRegistry(e *sim.Engine) {
 	r := NewRegistry()
+	m.levelKnobs = map[string]*Knob{}
+	m.oppKnobs = map[string]*Knob{}
 	for _, a := range e.Apps() {
 		if a.Kind != sim.KindDNN {
 			continue
 		}
 		name := a.Name
-		_, err := r.RegisterKnob("app."+name+".level", LayerApplication,
+		k, err := r.RegisterKnob("app."+name+".level", LayerApplication,
 			1, a.Profile.MaxLevel(), a.Level,
 			func(v int) error { return e.SetLevel(name, v) })
 		if err != nil {
 			m.logf("rtm: registry: %v", err)
+		} else {
+			m.levelKnobs[name] = k
 		}
 		if _, err := r.RegisterMonitor("app."+name+".latency", LayerApplication, "s", func() float64 {
 			info, err := e.App(name)
@@ -370,10 +419,13 @@ func (m *Manager) buildRegistry(e *sim.Engine) {
 		if err != nil {
 			continue
 		}
-		if _, err := r.RegisterKnob("dev."+name+".opp", LayerDevice,
+		k, err := r.RegisterKnob("dev."+name+".opp", LayerDevice,
 			0, len(cl.OPPs)-1, info.OPPIndex,
-			func(v int) error { return e.SetOPP(name, v) }); err != nil {
+			func(v int) error { return e.SetOPP(name, v) })
+		if err != nil {
 			m.logf("rtm: registry: %v", err)
+		} else {
+			m.oppKnobs[name] = k
 		}
 	}
 	if _, err := r.RegisterMonitor("dev.temperature", LayerDevice, "C", e.Temperature); err != nil {

@@ -17,28 +17,30 @@ func (maxAccuracyPolicy) Name() string { return "maxaccuracy" }
 
 // Plan implements Policy.
 func (maxAccuracyPolicy) Plan(v View) []Assignment {
-	st := newPlanState(&v)
-	var plan []Assignment
-	for _, a := range plannableDNNs(&v) {
-		plan = append(plan, maxAccuracyAssign(&v, st, a))
-	}
-	return plan
+	return pooledPlan(&v, maxAccuracyAssign)
 }
 
-func maxAccuracyAssign(v *View, st *planState, a sim.AppInfo) Assignment {
+// planInto implements scratchPlanner: the Manager's allocation-free path.
+func (maxAccuracyPolicy) planInto(v *View, sc *planScratch) []Assignment {
+	return planWith(v, sc, maxAccuracyAssign)
+}
+
+func maxAccuracyAssign(v *View, st *planState, sc *planScratch, a sim.AppInfo) Assignment {
 	req := v.Req(a)
 	// Pass 1: the highest feasible level, ranked accuracy-first. For each
 	// (cluster, cores, level) the fastest OPP that fits both the latency
 	// budget and the remaining power budget is taken — racing upward in
 	// frequency buys headroom for bigger levels, and the policy does not
 	// care what that costs in energy.
+	sc.levels = descendingLevels(a, sc.levels)
 	var best candidate
 	found := false
-	for _, cl := range v.Platform.Clusters {
-		for _, cores := range coreOptions(cl, st) {
-			for _, level := range descendingLevels(a) {
-				for oppIdx := len(cl.OPPs) - 1; oppIdx >= st.oppNeed[cl.Name]; oppIdx-- {
-					c, ok := evalCandidate(st, a, req, cl, cores, level, oppIdx, false)
+	for ci, cl := range v.Platform.Clusters {
+		sc.opts = coreOptions(cl, st, ci, sc.opts)
+		for _, cores := range sc.opts {
+			for _, level := range sc.levels {
+				for oppIdx := len(cl.OPPs) - 1; oppIdx >= st.oppNeed[ci]; oppIdx-- {
+					c, ok := evalCandidate(st, a, req, cl, ci, cores, level, oppIdx, false)
 					if !ok {
 						continue
 					}
@@ -61,7 +63,7 @@ func maxAccuracyAssign(v *View, st *planState, a sim.AppInfo) Assignment {
 		return st.commit(a, best, pass)
 	}
 	// Pass 3: best effort — minimise latency under the power budget only.
-	if c, ok := heuristicBest(v, st, a, req, descendingLevels(a), true); ok {
+	if c, ok := heuristicBest(v, st, sc, a, req, sc.levels, true); ok {
 		return st.commit(a, c, 3)
 	}
 	return park(v, st, a)

@@ -17,35 +17,37 @@ func (minEnergyPolicy) Name() string { return "minenergy" }
 
 // Plan implements Policy.
 func (minEnergyPolicy) Plan(v View) []Assignment {
-	st := newPlanState(&v)
-	var plan []Assignment
-	for _, a := range plannableDNNs(&v) {
-		plan = append(plan, minEnergyAssign(&v, st, a))
-	}
-	return plan
+	return pooledPlan(&v, minEnergyAssign)
 }
 
-func minEnergyAssign(v *View, st *planState, a sim.AppInfo) Assignment {
+// planInto implements scratchPlanner: the Manager's allocation-free path.
+func (minEnergyPolicy) planInto(v *View, sc *planScratch) []Assignment {
+	return planWith(v, sc, minEnergyAssign)
+}
+
+func minEnergyAssign(v *View, st *planState, sc *planScratch, a sim.AppInfo) Assignment {
 	req := v.Req(a)
 	// Pass 1: minimal level meeting the accuracy floor, raced to idle.
 	minLevel := minLevelMeeting(a, req.MinAccuracy)
 	if a.Profile.Level(minLevel).Accuracy >= req.MinAccuracy {
-		if c, ok := raceBest(v, st, a, req, []int{minLevel}); ok {
+		sc.levels = append(sc.levels[:0], minLevel)
+		if c, ok := raceBest(v, st, sc, a, req, sc.levels); ok {
 			return st.commit(a, c, 1)
 		}
 	}
 	// Pass 2: accuracy relaxed — the cheapest feasible race point wins
 	// outright (smaller levels draw less, so this walks levels upward and
 	// stops improving once energy rises).
-	levels := make([]int, a.Profile.MaxLevel())
-	for i := range levels {
-		levels[i] = i + 1
+	sc.levels = sc.levels[:0]
+	for l := 1; l <= a.Profile.MaxLevel(); l++ {
+		sc.levels = append(sc.levels, l)
 	}
-	if c, ok := raceBest(v, st, a, req, levels); ok {
+	if c, ok := raceBest(v, st, sc, a, req, sc.levels); ok {
 		return st.commit(a, c, 2)
 	}
 	// Pass 3: best effort — minimise latency under the power budget only.
-	if c, ok := heuristicBest(v, st, a, req, descendingLevels(a), true); ok {
+	sc.levels = descendingLevels(a, sc.levels)
+	if c, ok := heuristicBest(v, st, sc, a, req, sc.levels, true); ok {
 		return st.commit(a, c, 3)
 	}
 	return park(v, st, a)
@@ -53,13 +55,15 @@ func minEnergyAssign(v *View, st *planState, a sim.AppInfo) Assignment {
 
 // raceBest enumerates candidates pinned to each cluster's maximum OPP
 // (race-to-idle) and returns the minimum-average-power feasible one.
-func raceBest(v *View, st *planState, a sim.AppInfo, req Requirement, levels []int) (candidate, bool) {
+// levels may alias sc.levels; only sc.opts is consumed.
+func raceBest(v *View, st *planState, sc *planScratch, a sim.AppInfo, req Requirement, levels []int) (candidate, bool) {
 	var best candidate
 	found := false
-	for _, cl := range v.Platform.Clusters {
-		for _, cores := range coreOptions(cl, st) {
+	for ci, cl := range v.Platform.Clusters {
+		sc.opts = coreOptions(cl, st, ci, sc.opts)
+		for _, cores := range sc.opts {
 			for _, level := range levels {
-				c, ok := evalCandidate(st, a, req, cl, cores, level, len(cl.OPPs)-1, false)
+				c, ok := evalCandidate(st, a, req, cl, ci, cores, level, len(cl.OPPs)-1, false)
 				if !ok {
 					continue
 				}

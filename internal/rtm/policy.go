@@ -68,19 +68,36 @@ func (v *View) Req(a sim.AppInfo) Requirement {
 // what Manager.LastView returns, so callers can inspect the last planning
 // input without aliasing manager state.
 func (v View) Clone() View {
-	c := v
-	c.Apps = append([]sim.AppInfo(nil), v.Apps...)
-	c.Clusters = append([]sim.ClusterInfo(nil), v.Clusters...)
-	c.Reqs = make(map[string]Requirement, len(v.Reqs))
-	for k, r := range v.Reqs {
-		c.Reqs[k] = r
-	}
+	var c View
+	v.CloneInto(&c)
 	return c
+}
+
+// CloneInto rebuilds dst as a clone of v — the same one-level deep copy as
+// Clone, but into dst's existing slices and map so a caller replanning
+// every tick (the Manager) clones without allocating once the buffers have
+// grown to the working-set size.
+func (v View) CloneInto(dst *View) {
+	apps, clusters, reqs := dst.Apps[:0], dst.Clusters[:0], dst.Reqs
+	*dst = v
+	dst.Apps = append(apps, v.Apps...)
+	dst.Clusters = append(clusters, v.Clusters...)
+	if reqs == nil {
+		reqs = make(map[string]Requirement, len(v.Reqs))
+	}
+	clear(reqs)
+	for k, r := range v.Reqs {
+		reqs[k] = r
+	}
+	dst.Reqs = reqs
 }
 
 // Policy maps a View to one Assignment per running DNN app. Plan must be
 // deterministic (same View, same plan) and must not retain or mutate the
 // View; the fleet harness depends on both to keep sweeps reproducible.
+// (The Manager hands Plan a view whose buffers it reuses across replans —
+// a retained View would observe the next tick's state, which is exactly
+// why retention is outside the contract.)
 type Policy interface {
 	// Name is the registry key the policy is addressed by (e.g. in
 	// fleetsim -policies); stable and lowercase by convention.
@@ -155,10 +172,17 @@ func init() {
 // shares: the resource ledger, candidate evaluation, OPP/core option
 // enumeration, and commitment. Policies differ in which candidates they
 // enumerate and how they rank them.
+//
+// Everything here plans out of a planScratch: the ledger and every
+// intermediate slice reset in place instead of reallocating, because a
+// fleet sweep replans thousands of times per simulated scenario and the
+// per-plan maps this replaced were the planning hot path's dominant
+// allocation.
 
 // candidate is one evaluated operating point during planning.
 type candidate struct {
 	placement sim.Placement
+	ci        int // platform cluster index of placement.Cluster
 	level     int
 	oppIdx    int
 	latencyS  float64
@@ -168,105 +192,197 @@ type candidate struct {
 	memBytes  int64
 }
 
-// planState is the resource ledger consumed while assigning apps.
+// planState is the resource ledger consumed while assigning apps. Entries
+// are indexed by platform cluster position (see clusterIndex), not name:
+// index-addressed slices reset in place where name-keyed maps reallocated
+// per plan.
 type planState struct {
-	freeCores map[string]int
-	freeDuty  map[string]float64
-	freeMem   map[string]int64
-	oppNeed   map[string]int
+	clusters  []*hw.Cluster // v.Platform.Clusters, the index space
+	freeCores []int
+	freeDuty  []float64
+	freeMem   []int64
+	oppNeed   []int
 	dynBudget float64 // remaining average dynamic power, mW
 }
 
-// newPlanState builds the ledger from a view: the thermal power budget
-// less every cluster's idle power and the (uncontrollable) power of
-// non-DNN co-runners, plus free cores, accelerator duty and accelerator
-// memory. Iteration follows platform cluster order, not map order: the
-// budget is a float accumulation, and a run-dependent summation order
-// could flip a marginal feasibility decision between identical runs.
-func newPlanState(v *View) *planState {
-	st := &planState{
-		freeCores: map[string]int{},
-		freeDuty:  map[string]float64{},
-		freeMem:   map[string]int64{},
-		oppNeed:   map[string]int{},
+// clusterIndex maps a cluster name to its platform position (-1 when
+// unknown). Platforms carry a handful of clusters, so a linear scan beats
+// any allocation-bearing index structure.
+func (st *planState) clusterIndex(name string) int {
+	for i, cl := range st.clusters {
+		if cl.Name == name {
+			return i
+		}
 	}
+	return -1
+}
+
+// reuse returns s with length n and zeroed contents, keeping the backing
+// array whenever it is large enough.
+func reuse[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
+	}
+	return s
+}
+
+// newPlanState builds a fresh ledger from a view (tests and one-shot
+// callers); policies running hot go through planState.init on a scratch
+// ledger instead.
+func newPlanState(v *View) *planState {
+	st := &planState{}
+	st.init(v)
+	return st
+}
+
+// init (re)builds the ledger from a view: the thermal power budget less
+// every cluster's idle power and the (uncontrollable) power of non-DNN
+// co-runners, plus free cores, accelerator duty and accelerator memory.
+// Iteration follows platform cluster order, not map order: the budget is a
+// float accumulation, and a run-dependent summation order could flip a
+// marginal feasibility decision between identical runs.
+func (st *planState) init(v *View) {
+	cls := v.Platform.Clusters
+	st.clusters = cls
+	st.freeCores = reuse(st.freeCores, len(cls))
+	st.freeDuty = reuse(st.freeDuty, len(cls))
+	st.freeMem = reuse(st.freeMem, len(cls))
+	st.oppNeed = reuse(st.oppNeed, len(cls))
 	st.dynBudget = v.DynBudgetMW
-	for _, cl := range v.Platform.Clusters {
+	for ci, cl := range cls {
 		st.dynBudget -= cl.IdlePowerMW()
 		if cl.Type.IsAccelerator() {
-			st.freeDuty[cl.Name] = 1
-			st.freeMem[cl.Name] = cl.MemBytes
+			st.freeDuty[ci] = 1
+			st.freeMem[ci] = cl.MemBytes
 		} else {
-			st.freeCores[cl.Name] = cl.Cores
+			st.freeCores[ci] = cl.Cores
 		}
 	}
 	// Non-DNN apps consume resources and power at the OPP they will be
-	// pinned to: max for render clusters, min otherwise.
-	others := coRunners(v)
-	for _, cl := range v.Platform.Clusters {
-		residents := others[cl.Name]
-		if len(residents) == 0 {
+	// pinned to: max for render clusters, min otherwise. Per cluster, apps
+	// are visited in view (engine creation) order — the same accumulation
+	// order as the map-grouped implementation this replaces.
+	for ci, cl := range cls {
+		resident, render := false, false
+		for i := range v.Apps {
+			a := &v.Apps[i]
+			if !a.Running || a.Kind == sim.KindDNN || a.Placement.Cluster != cl.Name {
+				continue
+			}
+			resident = true
+			if a.Kind == sim.KindRender {
+				render = true
+			}
+		}
+		if !resident {
 			continue
 		}
 		opp := cl.MinOPP()
-		if hasRender(residents) {
+		if render {
 			opp = cl.MaxOPP()
-			st.oppNeed[cl.Name] = len(cl.OPPs) - 1
+			st.oppNeed[ci] = len(cl.OPPs) - 1
 		}
-		for _, a := range residents {
+		for i := range v.Apps {
+			a := &v.Apps[i]
+			if !a.Running || a.Kind == sim.KindDNN || a.Placement.Cluster != cl.Name {
+				continue
+			}
 			dyn := dynPowerMW(cl, opp, clApplyCores(cl, a.Placement.Cores), a.Util)
 			st.dynBudget -= dyn
 			if cl.Type.IsAccelerator() {
-				st.freeDuty[cl.Name] -= a.Util
+				st.freeDuty[ci] -= a.Util
 			} else {
-				st.freeCores[cl.Name] -= a.Placement.Cores
+				st.freeCores[ci] -= a.Placement.Cores
 			}
 		}
 	}
 	if st.dynBudget < 0 {
 		st.dynBudget = 0
 	}
-	return st
 }
 
-// coRunners groups running non-DNN apps by cluster, in app order.
-func coRunners(v *View) map[string][]sim.AppInfo {
-	others := map[string][]sim.AppInfo{}
-	for _, a := range v.Apps {
-		if !a.Running || a.Kind == sim.KindDNN {
-			continue
-		}
-		others[a.Placement.Cluster] = append(others[a.Placement.Cluster], a)
+// planScratch owns every buffer one planning pass needs — the ledger, the
+// sorted DNN worklist, option/level enumeration buffers and the plan under
+// construction. The Manager keeps one per instance so its replan loop is
+// allocation-free; the public Plan entry points borrow one from a pool.
+type planScratch struct {
+	st     planState
+	dnns   []sim.AppInfo
+	opts   []int
+	levels []int
+	plan   []Assignment
+}
+
+// scratchPool backs the public Plan entry points, which must hand back a
+// caller-owned slice and so cannot expose pooled memory directly.
+var scratchPool = sync.Pool{New: func() any { return new(planScratch) }}
+
+// scratchPlanner is the package-internal seam the Manager prefers: a
+// policy that can plan into caller-owned scratch buffers, returning a
+// slice that aliases sc.plan. All built-in policies implement it; external
+// policies fall back to the public Plan contract.
+type scratchPlanner interface {
+	planInto(v *View, sc *planScratch) []Assignment
+}
+
+// assignFunc is one policy's per-app planning step over the shared ledger.
+type assignFunc func(v *View, st *planState, sc *planScratch, a sim.AppInfo) Assignment
+
+// planWith runs a policy's assign step over the plannable DNNs in priority
+// order, building the plan in sc.plan. The returned slice aliases sc.plan
+// — callers that outlive the scratch must copy.
+func planWith(v *View, sc *planScratch, assign assignFunc) []Assignment {
+	sc.st.init(v)
+	plan := sc.plan[:0]
+	for _, a := range sc.plannableDNNs(v) {
+		plan = append(plan, assign(v, &sc.st, sc, a))
 	}
-	return others
+	sc.plan = plan
+	return plan
 }
 
-// plannableDNNs returns the running DNN apps in planning order: priority
-// descending, then latency budget ascending (stable over engine order).
-func plannableDNNs(v *View) []sim.AppInfo {
-	var dnns []sim.AppInfo
+// pooledPlan is the public-Plan path: borrow a scratch, plan, publish a
+// caller-owned copy.
+func pooledPlan(v *View, assign assignFunc) []Assignment {
+	sc := scratchPool.Get().(*planScratch)
+	defer scratchPool.Put(sc)
+	return append([]Assignment(nil), planWith(v, sc, assign)...)
+}
+
+// plannableDNNs rebuilds sc.dnns with the running DNN apps in planning
+// order: priority descending, then latency budget ascending, stable over
+// engine order. The insertion sort is stable and comparison-compatible
+// with the sort.SliceStable it replaces, so the order — and therefore
+// every downstream planning decision — is identical.
+func (sc *planScratch) plannableDNNs(v *View) []sim.AppInfo {
+	dnns := sc.dnns[:0]
 	for _, a := range v.Apps {
 		if a.Running && a.Kind == sim.KindDNN {
 			dnns = append(dnns, a)
 		}
 	}
-	sort.SliceStable(dnns, func(i, j int) bool {
-		ri, rj := v.Req(dnns[i]), v.Req(dnns[j])
-		if ri.Priority != rj.Priority {
-			return ri.Priority > rj.Priority
+	for i := 1; i < len(dnns); i++ {
+		for j := i; j > 0 && dnnBefore(v, dnns[j], dnns[j-1]); j-- {
+			dnns[j], dnns[j-1] = dnns[j-1], dnns[j]
 		}
-		return ri.MaxLatencyS < rj.MaxLatencyS
-	})
+	}
+	sc.dnns = dnns
 	return dnns
 }
 
-func hasRender(apps []sim.AppInfo) bool {
-	for _, a := range apps {
-		if a.Kind == sim.KindRender {
-			return true
-		}
+// dnnBefore is the planning order: priority descending, then latency
+// budget ascending.
+func dnnBefore(v *View, a, b sim.AppInfo) bool {
+	ra, rb := v.Req(a), v.Req(b)
+	if ra.Priority != rb.Priority {
+		return ra.Priority > rb.Priority
 	}
-	return false
+	return ra.MaxLatencyS < rb.MaxLatencyS
 }
 
 func clApplyCores(cl *hw.Cluster, cores int) int {
@@ -282,24 +398,24 @@ func dynPowerMW(cl *hw.Cluster, opp hw.OPP, n int, util float64) float64 {
 	return cl.BusyPowerMW(opp, n, util) - cl.IdlePowerMW()
 }
 
-// coreOptions lists allocatable core counts on a cluster given the ledger,
-// largest first (so a tie on the objective keeps the bigger allocation).
-func coreOptions(cl *hw.Cluster, st *planState) []int {
+// coreOptions lists allocatable core counts on cluster index ci given the
+// ledger, largest first (so a tie on the objective keeps the bigger
+// allocation). Options are appended into buf, which is reset and reused —
+// callers pass a scratch buffer and must consume the result before the
+// next call with the same buffer.
+func coreOptions(cl *hw.Cluster, st *planState, ci int, buf []int) []int {
+	buf = buf[:0]
 	if cl.Type.IsAccelerator() {
-		if st.freeDuty[cl.Name] <= 0 {
-			return nil
+		if st.freeDuty[ci] <= 0 {
+			return buf
 		}
-		return []int{cl.Cores}
+		return append(buf, cl.Cores)
 	}
-	free := st.freeCores[cl.Name]
-	if free < 1 {
-		return nil
-	}
-	opts := make([]int, 0, free)
+	free := st.freeCores[ci]
 	for n := free; n >= 1; n-- {
-		opts = append(opts, n)
+		buf = append(buf, n)
 	}
-	return opts
+	return buf
 }
 
 // chooseOPP returns the lowest OPP index >= floor (the cluster's committed
@@ -316,14 +432,14 @@ func chooseOPP(cl *hw.Cluster, floor, cores int, macs int64, budgetS float64) (i
 
 // evalCandidate checks one (cluster, cores, level, OPP) point against the
 // ledger — accelerator memory, latency budget (skipped in best-effort
-// mode), accelerator duty and the power budget — and prices it. ok is
-// false when any constraint fails.
-func evalCandidate(st *planState, a sim.AppInfo, req Requirement, cl *hw.Cluster, cores, level, oppIdx int, bestEffort bool) (candidate, bool) {
+// mode), accelerator duty and the power budget — and prices it. ci is the
+// cluster's ledger index. ok is false when any constraint fails.
+func evalCandidate(st *planState, a sim.AppInfo, req Requirement, cl *hw.Cluster, ci, cores, level, oppIdx int, bestEffort bool) (candidate, bool) {
 	spec := a.Profile.Level(level)
 	var memNeed int64
 	if cl.MemBytes > 0 && a.ModelBytes > 0 {
 		memNeed = a.ModelBytes * int64(level) / int64(a.Profile.MaxLevel())
-		if memNeed > st.freeMem[cl.Name] {
+		if memNeed > st.freeMem[ci] {
 			return candidate{}, false
 		}
 	}
@@ -337,7 +453,7 @@ func evalCandidate(st *planState, a sim.AppInfo, req Requirement, cl *hw.Cluster
 		if lat > req.MaxLatencyS {
 			return candidate{}, false
 		}
-		if cl.Type.IsAccelerator() && duty > st.freeDuty[cl.Name]+1e-9 {
+		if cl.Type.IsAccelerator() && duty > st.freeDuty[ci]+1e-9 {
 			return candidate{}, false
 		}
 	}
@@ -347,6 +463,7 @@ func evalCandidate(st *planState, a sim.AppInfo, req Requirement, cl *hw.Cluster
 	}
 	return candidate{
 		placement: sim.Placement{Cluster: cl.Name, Cores: cores},
+		ci:        ci,
 		level:     level,
 		oppIdx:    oppIdx,
 		latencyS:  lat,
@@ -360,23 +477,22 @@ func evalCandidate(st *planState, a sim.AppInfo, req Requirement, cl *hw.Cluster
 // commit consumes ledger resources for the chosen candidate and converts
 // it into an Assignment.
 func (st *planState) commit(a sim.AppInfo, c candidate, pass int) Assignment {
-	if c.duty > 0 {
-		if _, accel := st.freeDuty[c.placement.Cluster]; accel {
-			st.freeDuty[c.placement.Cluster] -= c.duty
-		}
+	cl := st.clusters[c.ci]
+	if c.duty > 0 && cl.Type.IsAccelerator() {
+		st.freeDuty[c.ci] -= c.duty
 	}
-	if _, cpu := st.freeCores[c.placement.Cluster]; cpu {
-		st.freeCores[c.placement.Cluster] -= c.placement.Cores
+	if !cl.Type.IsAccelerator() {
+		st.freeCores[c.ci] -= c.placement.Cores
 	}
 	if c.memBytes > 0 {
-		st.freeMem[c.placement.Cluster] -= c.memBytes
+		st.freeMem[c.ci] -= c.memBytes
 	}
 	st.dynBudget -= c.dynPowMW
 	if st.dynBudget < 0 {
 		st.dynBudget = 0
 	}
-	if c.oppIdx > st.oppNeed[c.placement.Cluster] {
-		st.oppNeed[c.placement.Cluster] = c.oppIdx
+	if c.oppIdx > st.oppNeed[c.ci] {
+		st.oppNeed[c.ci] = c.oppIdx
 	}
 	return Assignment{
 		App:       a.Name,
@@ -396,6 +512,7 @@ func park(v *View, st *planState, a sim.AppInfo) Assignment {
 	cl := v.Platform.Cluster(a.Placement.Cluster)
 	c := candidate{
 		placement: a.Placement,
+		ci:        st.clusterIndex(a.Placement.Cluster),
 		level:     1,
 		oppIdx:    0,
 		latencyS:  perf.InferenceLatencyS(cl, cl.MinOPP(), clApplyCores(cl, a.Placement.Cores), a.Profile.Level(1).MACs),
@@ -404,13 +521,14 @@ func park(v *View, st *planState, a sim.AppInfo) Assignment {
 	return st.commit(a, c, 3)
 }
 
-// descendingLevels returns [MaxLevel .. 1] for a profile.
-func descendingLevels(a sim.AppInfo) []int {
-	levels := make([]int, 0, a.Profile.MaxLevel())
+// descendingLevels fills buf with [MaxLevel .. 1] for a profile, reusing
+// the buffer's backing array.
+func descendingLevels(a sim.AppInfo, buf []int) []int {
+	buf = buf[:0]
 	for l := a.Profile.MaxLevel(); l >= 1; l-- {
-		levels = append(levels, l)
+		buf = append(buf, l)
 	}
-	return levels
+	return buf
 }
 
 // minLevelMeeting returns the lowest level whose accuracy meets the floor

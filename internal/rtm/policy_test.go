@@ -112,7 +112,10 @@ func TestChooseOPP(t *testing.T) {
 	}
 }
 
-// TestCoreOptions pins the allocation enumeration at the policy seam.
+// TestCoreOptions pins the allocation enumeration at the policy seam,
+// including the buffer-reuse contract: results are appended into the
+// caller's scratch buffer, whose backing array must be reused when large
+// enough.
 func TestCoreOptions(t *testing.T) {
 	cpu := testCluster()
 	npu := &hw.Cluster{
@@ -120,28 +123,36 @@ func TestCoreOptions(t *testing.T) {
 		OPPs:              []hw.OPP{{FreqGHz: 1, VoltageV: 1}},
 		RateMACsPerSecGHz: 1e9, ParallelAlpha: 1,
 	}
+	ledger := func(cl *hw.Cluster, cores int, duty float64) *planState {
+		return &planState{
+			clusters:  []*hw.Cluster{cl},
+			freeCores: []int{cores},
+			freeDuty:  []float64{duty},
+			freeMem:   []int64{0},
+			oppNeed:   []int{0},
+		}
+	}
 	cases := []struct {
 		name string
 		cl   *hw.Cluster
 		st   *planState
 		want []int
 	}{
-		{"all cores free, largest first", cpu,
-			&planState{freeCores: map[string]int{"cpu": 4}}, []int{4, 3, 2, 1}},
-		{"partially consumed ledger", cpu,
-			&planState{freeCores: map[string]int{"cpu": 2}}, []int{2, 1}},
-		{"exhausted CPU yields nothing", cpu,
-			&planState{freeCores: map[string]int{"cpu": 0}}, nil},
-		{"over-consumed CPU yields nothing", cpu,
-			&planState{freeCores: map[string]int{"cpu": -1}}, nil},
-		{"accelerator is all-or-nothing", npu,
-			&planState{freeDuty: map[string]float64{"npu": 0.4}}, []int{1}},
-		{"saturated accelerator yields nothing", npu,
-			&planState{freeDuty: map[string]float64{"npu": 0}}, nil},
+		{"all cores free, largest first", cpu, ledger(cpu, 4, 0), []int{4, 3, 2, 1}},
+		{"partially consumed ledger", cpu, ledger(cpu, 2, 0), []int{2, 1}},
+		{"exhausted CPU yields nothing", cpu, ledger(cpu, 0, 0), []int{}},
+		{"over-consumed CPU yields nothing", cpu, ledger(cpu, -1, 0), []int{}},
+		{"accelerator is all-or-nothing", npu, ledger(npu, 0, 0.4), []int{1}},
+		{"saturated accelerator yields nothing", npu, ledger(npu, 0, 0), []int{}},
 	}
+	buf := make([]int, 0, 8)
 	for _, tc := range cases {
-		if got := coreOptions(tc.cl, tc.st); !reflect.DeepEqual(got, tc.want) {
+		got := coreOptions(tc.cl, tc.st, 0, buf)
+		if !reflect.DeepEqual(got, tc.want) {
 			t.Errorf("%s: coreOptions = %v, want %v", tc.name, got, tc.want)
+		}
+		if cap(got) > 0 && &got[:cap(got)][0] != &buf[:cap(buf)][0] {
+			t.Errorf("%s: coreOptions reallocated instead of reusing the buffer", tc.name)
 		}
 	}
 }

@@ -39,9 +39,8 @@ func (e *Engine) Platform() *hw.Platform { return e.plat }
 // TotalPowerMW returns the instantaneous platform power — a device monitor.
 func (e *Engine) TotalPowerMW() float64 {
 	total := 0.0
-	for _, name := range e.clusterOrder() {
-		cs := e.clusters[name]
-		total += cs.c.BusyPowerMW(cs.c.OPPs[cs.oppIdx], cs.c.Cores, e.clusterUtil(name))
+	for _, cs := range e.clusterList {
+		total += cs.c.BusyPowerMW(cs.c.OPPs[cs.oppIdx], cs.c.Cores, e.clusterUtilOf(cs))
 	}
 	return total
 }
@@ -104,9 +103,9 @@ func (e *Engine) appInfo(a *appState) AppInfo {
 
 // Apps returns all apps in deterministic creation order.
 func (e *Engine) Apps() []AppInfo {
-	out := make([]AppInfo, 0, len(e.order))
-	for _, name := range e.order {
-		out = append(out, e.appInfo(e.apps[name]))
+	out := make([]AppInfo, 0, len(e.appList))
+	for _, a := range e.appList {
+		out = append(out, e.appInfo(a))
 	}
 	return out
 }
@@ -132,30 +131,41 @@ func (e *Engine) Cluster(name string) (ClusterInfo, error) {
 	if !ok {
 		return ClusterInfo{}, fmt.Errorf("sim: unknown cluster %q", name)
 	}
-	info := ClusterInfo{
-		Name:     name,
+	var info ClusterInfo
+	e.clusterInfoInto(cs, &info)
+	return info, nil
+}
+
+// clusterInfoInto fills info from the cluster's live state, reusing
+// info's existing Residents backing storage (every other field is
+// overwritten). It is the shared fill behind Cluster and SnapshotInto.
+func (e *Engine) clusterInfoInto(cs *clusterState, info *ClusterInfo) {
+	residents := info.Residents[:0]
+	*info = ClusterInfo{
+		Name:     cs.c.Name,
 		Type:     cs.c.Type,
 		OPPIndex: cs.oppIdx,
 		FreqGHz:  cs.c.OPPs[cs.oppIdx].FreqGHz,
 		Cores:    cs.c.Cores,
-		Util:     e.clusterUtil(name),
+		Util:     e.clusterUtilOf(cs),
 		EnergyMJ: cs.energy,
 	}
 	info.PowerMW = cs.c.BusyPowerMW(cs.c.OPPs[cs.oppIdx], cs.c.Cores, info.Util)
-	for _, an := range e.order {
-		a := e.apps[an]
-		if a.started && !a.stopped && a.placed.Cluster == name {
-			info.Residents = append(info.Residents, an)
+	for _, a := range e.appList {
+		if a.started && !a.stopped && a.placed.Cluster == cs.c.Name {
+			residents = append(residents, a.Name)
 			if !cs.c.Type.IsAccelerator() {
 				info.UsedCores += a.placed.Cores
 			}
 		}
 	}
 	if cs.c.MemBytes > 0 {
-		info.MemFree = cs.c.MemBytes - e.acceleratorMemUsed(name, "")
+		info.MemFree = cs.c.MemBytes - e.acceleratorMemUsed(cs.c.Name, "")
 	}
-	sort.Strings(info.Residents)
-	return info, nil
+	sort.Strings(residents)
+	if len(residents) > 0 {
+		info.Residents = residents
+	}
 }
 
 // Snapshot is a read-only capture of everything a planning policy may
@@ -178,28 +188,45 @@ type Snapshot struct {
 // snapshots of identical engine states are identical — the determinism
 // anchor for policy planning.
 func (e *Engine) Snapshot() Snapshot {
-	s := Snapshot{
-		TimeS:     e.now,
-		AmbientC:  e.ambient,
-		TempC:     e.thermal.TempC,
-		ThrottleC: e.plat.Thermal.ThrottleC,
-		Apps:      e.Apps(),
-	}
-	for _, name := range e.clusterOrder() {
-		if info, err := e.Cluster(name); err == nil {
-			s.Clusters = append(s.Clusters, info)
-		}
-	}
+	var s Snapshot
+	e.SnapshotInto(&s)
 	return s
+}
+
+// SnapshotInto rebuilds s in place from the engine's observable state,
+// reusing s's Apps and Clusters backing storage (including each cluster's
+// Residents buffer). It captures exactly what Snapshot captures without
+// the per-call allocations, which is what lets a controller ticking every
+// simulated epoch snapshot allocation-free; pass a zero Snapshot to start
+// a fresh buffer set.
+func (e *Engine) SnapshotInto(s *Snapshot) {
+	s.TimeS = e.now
+	s.AmbientC = e.ambient
+	s.TempC = e.thermal.TempC
+	s.ThrottleC = e.plat.Thermal.ThrottleC
+	s.Apps = s.Apps[:0]
+	for _, a := range e.appList {
+		s.Apps = append(s.Apps, e.appInfo(a))
+	}
+	// Reuse ClusterInfo slots (not just the slice) so each slot's
+	// Residents buffer survives the rebuild.
+	if cap(s.Clusters) < len(e.clusterList) {
+		grown := make([]ClusterInfo, len(e.clusterList))
+		copy(grown, s.Clusters[:cap(s.Clusters)])
+		s.Clusters = grown
+	}
+	s.Clusters = s.Clusters[:len(e.clusterList)]
+	for i, cs := range e.clusterList {
+		e.clusterInfoInto(cs, &s.Clusters[i])
+	}
 }
 
 // acceleratorMemUsed sums the level-scaled model bytes of DNN apps resident
 // on the cluster, excluding `except`.
 func (e *Engine) acceleratorMemUsed(cluster, except string) int64 {
 	var used int64
-	for _, an := range e.order {
-		a := e.apps[an]
-		if an == except || a.stopped || a.placed.Cluster != cluster || a.Kind != KindDNN {
+	for _, a := range e.appList {
+		if a.Name == except || a.stopped || a.placed.Cluster != cluster || a.Kind != KindDNN {
 			continue
 		}
 		used += e.levelBytes(a)
@@ -289,9 +316,8 @@ func (e *Engine) Migrate(app string, to Placement) error {
 	// CPU capacity check.
 	if !cl.Type.IsAccelerator() {
 		used := 0
-		for _, an := range e.order {
-			o := e.apps[an]
-			if an != app && o.started && !o.stopped && o.placed.Cluster == to.Cluster {
+		for _, o := range e.appList {
+			if o.Name != app && o.started && !o.stopped && o.placed.Cluster == to.Cluster {
 				used += o.placed.Cores
 			}
 		}
@@ -362,9 +388,8 @@ func (e *Engine) Report() Report {
 	if e.now > 0 {
 		r.AvgPowerMW = e.totalEnergy / e.now
 	}
-	for _, name := range e.clusterOrder() {
-		cs := e.clusters[name]
-		r.Clusters = append(r.Clusters, ClusterReport{Name: name, EnergyMJ: cs.energy, BusyS: cs.busyS})
+	for _, cs := range e.clusterList {
+		r.Clusters = append(r.Clusters, ClusterReport{Name: cs.c.Name, EnergyMJ: cs.energy, BusyS: cs.busyS})
 	}
 	return r
 }

@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/emlrtm/emlrtm/internal/hw"
+	"github.com/emlrtm/emlrtm/internal/perf"
+)
+
+// benchApps is a representative mixed workload: three DNN streams at
+// different rates, a render app and background load on the flagship SoC —
+// enough event traffic that the engine's heap, advanceTo and refresh paths
+// all run hot.
+func benchApps() []App {
+	prof := perf.UniformProfile("dnn-mobile", 7_000_000, 7<<20,
+		perf.PaperAccuracies, []float64{0.61, 0.68, 0.74, 0.78})
+	return []App{
+		{Name: "dnn1", Kind: KindDNN, Profile: prof, Level: 4, PeriodS: 0.040,
+			ModelBytes: 7 << 20, Placement: Placement{Cluster: "npu"}},
+		{Name: "dnn2", Kind: KindDNN, Profile: prof, Level: 4, PeriodS: 1.0 / 60,
+			ModelBytes: 7 << 20, Placement: Placement{Cluster: "cpu-big", Cores: 4}},
+		{Name: "dnn3", Kind: KindDNN, Profile: prof, Level: 2, PeriodS: 0.100,
+			ModelBytes: 7 << 20, Placement: Placement{Cluster: "cpu-lit", Cores: 2}},
+		{Name: "vr", Kind: KindRender, Util: 0.6, Placement: Placement{Cluster: "gpu"}},
+		{Name: "bg", Kind: KindBackground, Util: 0.4, Placement: Placement{Cluster: "cpu-lit", Cores: 1}},
+	}
+}
+
+// BenchmarkEngineRun measures one uncontrolled 10-simulated-second run of
+// the mixed workload per iteration — the engine share of fleet throughput
+// (BenchmarkPolicyPlan and BenchmarkReplan in internal/rtm isolate the
+// planning layers above it).
+func BenchmarkEngineRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e, err := New(Config{Platform: hw.FlagshipSoC(), Apps: benchApps()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Run(10); err != nil {
+			b.Fatal(err)
+		}
+		if e.Report().DurationS != 10 {
+			b.Fatal("short run")
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -20,29 +19,77 @@ const (
 	hThermal
 )
 
+// hevent is one scheduled event. app is the index into Engine.appList
+// (-1 for app-less events): the hot loop never touches the name-keyed app
+// map.
 type hevent struct {
 	t    float64
 	seq  int64
 	kind hKind
-	app  string
+	app  int32
 }
 
+// eventHeap is a typed, index-based binary min-heap of scheduler events
+// ordered by (t, seq). push and pop sift inline over the backing array and
+// keep it when the heap drains, so the steady-state simulation loop does
+// no heap allocations — unlike container/heap, whose interface boxes every
+// pushed element through `any`.
 type eventHeap []hevent
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+// before is the heap order: earliest time first, insertion sequence as the
+// tie-break (so simultaneous events pop in schedule order).
+func (h eventHeap) before(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(hevent)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
 
-func (e *Engine) push(t float64, kind hKind, app string) int64 {
+// push inserts an event, reusing the slice's spare capacity.
+func (h *eventHeap) push(ev hevent) {
+	s := append(*h, ev)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.before(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*h = s
+}
+
+// pop removes and returns the minimum event. The backing array is kept for
+// future pushes.
+func (h *eventHeap) pop() hevent {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && s.before(r, child) {
+			child = r
+		}
+		if !s.before(child, i) {
+			break
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
+	return top
+}
+
+func (e *Engine) push(t float64, kind hKind, app int32) int64 {
 	e.seq++
-	heap.Push(&e.events, hevent{t: t, seq: e.seq, kind: kind, app: app})
+	e.events.push(hevent{t: t, seq: e.seq, kind: kind, app: app})
 	return e.seq
 }
 
@@ -52,20 +99,19 @@ func (e *Engine) Run(endS float64) error {
 		return fmt.Errorf("sim: end time %f must be positive", endS)
 	}
 	e.endS = endS
-	for _, name := range e.order {
-		a := e.apps[name]
-		e.push(a.StartS, hStart, name)
+	for _, a := range e.appList {
+		e.push(a.StartS, hStart, a.idx)
 		if a.StopS > 0 {
-			e.push(a.StopS, hStop, name)
+			e.push(a.StopS, hStop, a.idx)
 		}
 	}
 	if e.tickS > 0 && e.ctrl != nil {
-		e.push(e.tickS, hTick, "")
+		e.push(e.tickS, hTick, -1)
 	}
 	e.rescheduleThermal()
 
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(hevent)
+	for len(e.events) > 0 {
+		ev := e.events.pop()
 		if ev.t > endS {
 			break
 		}
@@ -86,9 +132,8 @@ func (e *Engine) advanceTo(t float64) {
 		return
 	}
 	totalMW := 0.0
-	for _, name := range e.clusterOrder() {
-		cs := e.clusters[name]
-		util := e.clusterUtil(cs.c.Name)
+	for _, cs := range e.clusterList {
+		util := e.clusterUtilOf(cs)
 		pw := cs.c.BusyPowerMW(cs.c.OPPs[cs.oppIdx], cs.c.Cores, util)
 		cs.lastPow = pw
 		cs.energy += pw * dt
@@ -100,8 +145,7 @@ func (e *Engine) advanceTo(t float64) {
 	e.totalEnergy += totalMW * dt
 
 	// Job progress.
-	for _, name := range e.order {
-		a := e.apps[name]
+	for _, a := range e.appList {
 		if a.Kind != KindDNN || !a.jobActive {
 			continue
 		}
@@ -134,23 +178,21 @@ func (e *Engine) advanceTo(t float64) {
 	e.now = t
 }
 
-func (e *Engine) clusterOrder() []string {
-	names := make([]string, 0, len(e.clusters))
-	for _, c := range e.plat.Clusters {
-		names = append(names, c.Name)
-	}
-	return names
+// clusterUtil computes the aggregate dynamic-power utilisation fraction of
+// a cluster in [0,1] by name; clusterUtilOf is the hot-path variant that
+// skips the map lookup.
+func (e *Engine) clusterUtil(name string) float64 {
+	return e.clusterUtilOf(e.clusters[name])
 }
 
-// clusterUtil computes the aggregate dynamic-power utilisation fraction of
-// a cluster in [0,1]: resident DNN jobs run their cores flat out, render
-// and background apps contribute their configured utilisation, and
-// accelerator inference induces CompanionUtil on the companion cluster.
-func (e *Engine) clusterUtil(name string) float64 {
-	cs := e.clusters[name]
+// clusterUtilOf computes a cluster's utilisation: resident DNN jobs run
+// their cores flat out, render and background apps contribute their
+// configured utilisation, and accelerator inference induces CompanionUtil
+// on the companion cluster.
+func (e *Engine) clusterUtilOf(cs *clusterState) float64 {
+	name := cs.c.Name
 	util := 0.0
-	for _, an := range e.order {
-		a := e.apps[an]
+	for _, a := range e.appList {
 		if !a.started || a.stopped || a.placed.Cluster != name {
 			continue
 		}
@@ -191,8 +233,7 @@ func (e *Engine) clusterUtil(name string) float64 {
 func (e *Engine) acceleratorDNNShare(cluster string) float64 {
 	renderUtil := 0.0
 	active := 0
-	for _, an := range e.order {
-		a := e.apps[an]
+	for _, a := range e.appList {
 		if !a.started || a.stopped || a.placed.Cluster != cluster {
 			continue
 		}
@@ -216,8 +257,7 @@ func (e *Engine) acceleratorDNNShare(cluster string) float64 {
 }
 
 func (e *Engine) anyActiveDNN(cluster string) bool {
-	for _, an := range e.order {
-		a := e.apps[an]
+	for _, a := range e.appList {
 		if a.started && !a.stopped && a.placed.Cluster == cluster &&
 			a.Kind == KindDNN && a.jobActive && e.now >= a.blockedUntil {
 			return true
@@ -244,24 +284,24 @@ func (e *Engine) jobRate(a *appState) float64 {
 func (e *Engine) handle(ev hevent) {
 	switch ev.kind {
 	case hStart:
-		a := e.apps[ev.app]
+		a := e.appList[ev.app]
 		a.started = true
-		e.emit(Event{TimeS: e.now, Kind: EvAppStart, App: ev.app})
+		e.emit(Event{TimeS: e.now, Kind: EvAppStart, App: a.Name})
 		if a.Kind == KindDNN {
 			e.release(a)
 		}
 	case hStop:
-		a := e.apps[ev.app]
+		a := e.appList[ev.app]
 		a.stopped = true
 		a.jobActive = false
-		e.emit(Event{TimeS: e.now, Kind: EvAppStop, App: ev.app})
+		e.emit(Event{TimeS: e.now, Kind: EvAppStop, App: a.Name})
 	case hRelease:
-		a := e.apps[ev.app]
+		a := e.appList[ev.app]
 		if a.started && !a.stopped {
 			e.release(a)
 		}
 	case hComplete:
-		a := e.apps[ev.app]
+		a := e.appList[ev.app]
 		if a.jobActive && ev.seq == a.completionSeq {
 			// Complete when less than a nanosecond of work remains; the
 			// residue is floating-point error from time subtraction, which
@@ -280,7 +320,7 @@ func (e *Engine) handle(ev hevent) {
 		if e.ctrl != nil {
 			e.ctrl.OnTick(e)
 			if next := e.now + e.tickS; next <= e.endS {
-				e.push(next, hTick, "")
+				e.push(next, hTick, -1)
 			}
 		}
 	case hThermal:
@@ -314,7 +354,7 @@ func (e *Engine) release(a *appState) {
 	}
 	next := e.now + a.PeriodS
 	if (a.StopS == 0 || next < a.StopS) && next <= e.endS {
-		e.push(next, hRelease, a.Name)
+		e.push(next, hRelease, a.idx)
 	}
 }
 
@@ -351,8 +391,7 @@ func (e *Engine) emit(ev Event) {
 // actually moved: unconditional rescheduling would invalidate the event
 // just popped on every iteration and the heap would never drain.
 func (e *Engine) refresh() {
-	for _, name := range e.order {
-		a := e.apps[name]
+	for _, a := range e.appList {
 		if a.Kind != KindDNN || !a.jobActive || a.stopped {
 			a.completionSeq = 0
 			continue
@@ -360,7 +399,7 @@ func (e *Engine) refresh() {
 		if e.now < a.blockedUntil {
 			if a.completionSeq == 0 || a.completionEst != a.blockedUntil {
 				a.completionEst = a.blockedUntil
-				a.completionSeq = e.push(a.blockedUntil, hUnblock, a.Name)
+				a.completionSeq = e.push(a.blockedUntil, hUnblock, a.idx)
 			}
 			continue
 		}
@@ -373,7 +412,7 @@ func (e *Engine) refresh() {
 			continue // pending event still accurate
 		}
 		a.completionEst = est
-		a.completionSeq = e.push(est, hComplete, a.Name)
+		a.completionSeq = e.push(est, hComplete, a.idx)
 	}
 	e.rescheduleThermal()
 }
@@ -393,7 +432,7 @@ func (e *Engine) rescheduleThermal() {
 		if cur >= th.ThrottleC && !e.alarmed && e.thermalEvSeq == 0 {
 			// Already above: alarm immediately.
 			e.thermalEst = e.now
-			e.thermalEvSeq = e.push(e.now, hThermal, "")
+			e.thermalEvSeq = e.push(e.now, hThermal, -1)
 		}
 		return
 	}
@@ -415,5 +454,5 @@ func (e *Engine) rescheduleThermal() {
 		return // pending alarm still accurate
 	}
 	e.thermalEst = est
-	e.thermalEvSeq = e.push(est, hThermal, "")
+	e.thermalEvSeq = e.push(est, hThermal, -1)
 }

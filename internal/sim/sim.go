@@ -156,6 +156,7 @@ func (m MigrationModel) Downtime(bytes int64) float64 {
 // appState is the live state of one app.
 type appState struct {
 	App
+	idx     int32 // position in Engine.appList, carried by scheduler events
 	placed  Placement
 	level   int
 	started bool
@@ -192,11 +193,17 @@ type clusterState struct {
 type Engine struct {
 	plat     *hw.Platform
 	apps     map[string]*appState
-	order    []string // deterministic app iteration order
 	clusters map[string]*clusterState
-	thermal  *hw.ThermalState
-	ambient  float64 // current ambient °C (scenario-controllable)
-	mig      MigrationModel
+	// appList / clusterList are the deterministic iteration orders:
+	// appList in creation order, clusterList in platform order. The event
+	// loop and snapshotting walk these instead of re-deriving order
+	// through the name-keyed maps (which cost a lookup — and, for cluster
+	// order, an allocation — per event).
+	appList     []*appState
+	clusterList []*clusterState
+	thermal     *hw.ThermalState
+	ambient     float64 // current ambient °C (scenario-controllable)
+	mig         MigrationModel
 
 	ctrl  Controller
 	tickS float64
@@ -253,7 +260,9 @@ func New(cfg Config) (*Engine, error) {
 		e.mig = DefaultMigrationModel()
 	}
 	for _, c := range cfg.Platform.Clusters {
-		e.clusters[c.Name] = &clusterState{c: c, oppIdx: 0}
+		cs := &clusterState{c: c, oppIdx: 0}
+		e.clusters[c.Name] = cs
+		e.clusterList = append(e.clusterList, cs)
 	}
 	for _, a := range cfg.Apps {
 		if err := e.validateApp(a); err != nil {
@@ -264,9 +273,16 @@ func New(cfg Config) (*Engine, error) {
 		if cl := cfg.Platform.Cluster(a.Placement.Cluster); cl.Type.IsAccelerator() {
 			a.Placement.Cores = cl.Cores
 		}
-		st := &appState{App: a, placed: a.Placement, level: a.Level}
+		st := &appState{App: a, idx: int32(len(e.appList)), placed: a.Placement, level: a.Level}
 		e.apps[a.Name] = st
-		e.order = append(e.order, a.Name)
+		e.appList = append(e.appList, st)
+	}
+	// Size the event queue for the steady state (a handful of pending
+	// events per app) and the event log for a realistic run, so the hot
+	// loop reaches zero-allocation push/pop and amortised emit quickly.
+	e.events = make(eventHeap, 0, 16+4*len(e.appList))
+	if e.logEvents {
+		e.eventLog = make([]Event, 0, 512)
 	}
 	e.maxTempC = cfg.Platform.AmbientC
 	return e, nil
