@@ -106,6 +106,16 @@ func main() {
 			log.Fatalf("fleetbench: %v", err)
 		}
 	}
+	// Read the previous baseline *before* measuring: a corrupt -out file
+	// must fail fast, not after minutes of benchmarks whose fresh numbers
+	// it would discard along with itself.
+	var baseline *Numbers
+	if *out != "-" {
+		var err error
+		if baseline, err = loadBaseline(*out); err != nil {
+			log.Fatalf("fleetbench: %v", err)
+		}
+	}
 
 	cur := Numbers{
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
@@ -132,15 +142,7 @@ func main() {
 		cur.Benchmarks["policy-plan/"+p] = record("policy-plan/"+p, benchPolicyPlan(p))
 	}
 
-	doc := Doc{Schema: 1, Current: cur}
-	if *out != "-" {
-		if prev, err := os.ReadFile(*out); err == nil {
-			var old Doc
-			if json.Unmarshal(prev, &old) == nil {
-				doc.Baseline = old.Baseline
-			}
-		}
-	}
+	doc := Doc{Schema: 1, Baseline: baseline, Current: cur}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		log.Fatalf("fleetbench: %v", err)
@@ -154,6 +156,28 @@ func main() {
 		log.Fatalf("fleetbench: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "fleetbench: wrote %s\n", *out)
+}
+
+// loadBaseline extracts the recorded baseline from a previous -out file so
+// reruns preserve the pre-optimisation numbers. A missing file is fine
+// (first run: no baseline). A file that exists but does not parse is an
+// error, not a shrug: the old behaviour silently dropped the baseline on a
+// corrupt artifact and the next write destroyed the recorded perf
+// trajectory — exactly the history the file exists to keep. The caller
+// refuses to overwrite until the operator fixes or removes the file.
+func loadBaseline(path string) (*Numbers, error) {
+	prev, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("reading previous %s: %w", path, err)
+	}
+	var old Doc
+	if err := json.Unmarshal(prev, &old); err != nil {
+		return nil, fmt.Errorf("previous %s is corrupt (%v); refusing to overwrite it and lose the recorded baseline — fix or delete the file, or use -out - for stdout", path, err)
+	}
+	return old.Baseline, nil
 }
 
 // sweep times a full fleet run and derives throughput plus per-scenario

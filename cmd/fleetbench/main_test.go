@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestLoadBaseline pins the baseline-preservation contract of the perf
+// trajectory file: a missing file starts fresh, a valid file hands its
+// recorded baseline through untouched, and — the regression this guards —
+// a file that exists but fails to parse is a loud error instead of a
+// silently dropped baseline (the old code swallowed the unmarshal error,
+// so one corrupt artifact plus one rerun erased the recorded
+// pre-optimisation numbers forever).
+func TestLoadBaseline(t *testing.T) {
+	dir := t.TempDir()
+
+	t.Run("missing file is a fresh start", func(t *testing.T) {
+		b, err := loadBaseline(filepath.Join(dir, "nope.json"))
+		if err != nil || b != nil {
+			t.Fatalf("loadBaseline(missing) = %v, %v; want nil, nil", b, err)
+		}
+	})
+
+	t.Run("valid file preserves its baseline", func(t *testing.T) {
+		want := Numbers{Note: "pre-PR", Fleet: FleetNumbers{ScenariosPerSec: 123.5, Runs: 192}}
+		path := filepath.Join(dir, "valid.json")
+		raw, err := json.Marshal(Doc{Schema: 1, Baseline: &want, Current: Numbers{Note: "old current"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := loadBaseline(path)
+		if err != nil {
+			t.Fatalf("loadBaseline(valid) error: %v", err)
+		}
+		if got == nil || got.Note != want.Note || got.Fleet.ScenariosPerSec != want.Fleet.ScenariosPerSec {
+			t.Fatalf("loadBaseline(valid) = %+v, want %+v", got, want)
+		}
+	})
+
+	t.Run("valid file without a baseline stays baseline-free", func(t *testing.T) {
+		path := filepath.Join(dir, "nobaseline.json")
+		raw, err := json.Marshal(Doc{Schema: 1, Current: Numbers{Note: "current only"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		b, err := loadBaseline(path)
+		if err != nil || b != nil {
+			t.Fatalf("loadBaseline(no-baseline) = %v, %v; want nil, nil", b, err)
+		}
+	})
+
+	t.Run("corrupt file fails loudly", func(t *testing.T) {
+		path := filepath.Join(dir, "corrupt.json")
+		if err := os.WriteFile(path, []byte(`{"schema": 1, "baseline": {trunc`), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		b, err := loadBaseline(path)
+		if err == nil {
+			t.Fatalf("loadBaseline(corrupt) = %+v, nil; want an error — a corrupt artifact must not silently drop the baseline", b)
+		}
+		if !strings.Contains(err.Error(), "refusing to overwrite") {
+			t.Fatalf("loadBaseline(corrupt) error %q should explain it refuses to overwrite", err)
+		}
+	})
+}

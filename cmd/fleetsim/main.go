@@ -9,9 +9,14 @@
 //
 // -policies sweeps several runtime-manager planning policies over the
 // *same* sampled workloads (-scenarios counts workloads; total runs are
-// scenarios × policies), and the report gains per-policy rows:
+// scenarios × policies), and the report gains per-policy rows plus a
+// per-policy regret block: for every workload the oracle is the best swept
+// policy on that exact run, and regret is each policy's mean excess miss
+// rate and energy over it. Policy names may be parameterised — a table
+// trained by cmd/policytrain runs as "learned:<table.json>":
 //
 //	fleetsim -scenarios 64 -seed 1 -policies heuristic,maxaccuracy,minenergy -format table
+//	fleetsim -scenarios 64 -seed 1 -policies heuristic,learned:table.json -format table
 //
 // A fleet can also be split across processes or machines. -shard i/m runs
 // only the i-th (1-based) contiguous slice of the scenario range and
@@ -26,7 +31,8 @@
 // -nolat drops the raw per-job latency samples from results and shard
 // files — they dominate shard bytes, so million-scenario fleets run with
 // it. Per-scenario mean/p95/max stay exact; pooled group p95 degrades to
-// the worst per-scenario p95.
+// the worst per-scenario p95 and is marked approximate (p95Approx in
+// JSON, a ~ suffix in tables).
 //
 // Usage:
 //
@@ -265,8 +271,14 @@ func printTables(w io.Writer, rep fleet.Report) error {
 		"group", "scen", "frames", "miss%", "meanLat(ms)", "p95Lat(ms)",
 		"energy(J)", "thermal%", "plans", "migr", "oppSw")
 	addRow := func(name string, s fleet.GroupStats) {
+		// Approximate group p95s (a -nolat scenario contributed, so the
+		// percentile could not pool every sample) carry a ~ suffix.
+		p95 := any(1000 * s.P95LatencyS)
+		if s.P95Approx {
+			p95 = trace.FormatFloat(1000*s.P95LatencyS) + "~"
+		}
 		t.AddRow(name, s.Scenarios, s.Frames, 100*s.MissRate,
-			1000*s.MeanLatencyS, 1000*s.P95LatencyS,
+			1000*s.MeanLatencyS, p95,
 			s.EnergyMJ/1000, 100*s.ThermalRate,
 			s.Plans, s.Migrations, s.OPPSwitches)
 	}
@@ -285,11 +297,29 @@ func printTables(w io.Writer, rep fleet.Report) error {
 	for _, name := range sortedKeys(rep.ByPolicy) {
 		addRow("policy:"+name, rep.ByPolicy[name])
 	}
-	_, err := t.WriteTo(w)
+	if _, err := t.WriteTo(w); err != nil {
+		return err
+	}
+	if rep.Regret == nil {
+		return nil
+	}
+	// Sweeps get the regret table: how far each policy sits from the
+	// per-workload oracle (the best swept policy on the same bit-identical
+	// workload, per metric).
+	rt := trace.NewTable(
+		"policy regret (oracle = best policy per workload)",
+		"policy", "workloads", "oracleWins", "missRegret(pp)", "energyRegret(J)")
+	fmt.Fprintln(w)
+	for _, name := range sortedKeys(rep.Regret) {
+		r := rep.Regret[name]
+		rt.AddRow(name, r.Workloads, r.OracleWins,
+			100*r.MissRateRegret, r.EnergyRegretMJ/1000)
+	}
+	_, err := rt.WriteTo(w)
 	return err
 }
 
-func sortedKeys(m map[string]fleet.GroupStats) []string {
+func sortedKeys[V any](m map[string]V) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)

@@ -1,0 +1,128 @@
+// Command policytrain trains the learned runtime-manager policy: it
+// replays a seeded fleet of generated workloads under every base policy
+// (arm), scores each run on a miss-rate + energy reward, runs
+// epsilon-greedy refinement epochs, and writes the resulting state →
+// policy selection table as JSON. The table then runs anywhere a policy
+// name is accepted, as "learned:<table.json>" — fleetsim sweeps, the
+// facade, scripted scenarios.
+//
+// Training is deterministic: the same -seed (and flags) writes a
+// byte-identical table file at any -workers value, so a committed table is
+// reproducible and CI can train twice and cmp.
+//
+// The summary table printed afterwards shows each arm's pure-sweep mean
+// cost — the bar the learned policy has to clear — and how many
+// discretised states the table covers. Evaluate a trained table against
+// its arms with fleetsim's regret block:
+//
+//	policytrain -seed 1 -workloads 64 -out table.json
+//	fleetsim -scenarios 64 -seed 1 \
+//	    -policies heuristic,maxaccuracy,minenergy,learned:table.json -format table
+//
+// Usage:
+//
+//	policytrain [-seed 1] [-workloads 64] [-workers 0] [-platforms a,b]
+//	            [-classes steady,thermal] [-arms heuristic,maxaccuracy,minenergy]
+//	            [-epochs 2] [-epsilon 0.1] [-missweight 1] [-energyweight 0.05]
+//	            [-out table.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"github.com/emlrtm/emlrtm/internal/fleet"
+	"github.com/emlrtm/emlrtm/internal/rtm"
+	"github.com/emlrtm/emlrtm/internal/trace"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "master training seed (workload sampling and exploration derive from it)")
+	workloads := flag.Int("workloads", 64, "fleet workloads to train on")
+	workers := flag.Int("workers", 0, "training worker pool size (0 = NumCPU; the table is identical for any value)")
+	platforms := flag.String("platforms", "", "comma-separated platform names (empty = all)")
+	classes := flag.String("classes", "", "comma-separated scenario classes (empty = all)")
+	arms := flag.String("arms", "", "comma-separated base policies to select among (empty = heuristic,maxaccuracy,minenergy)")
+	epochs := flag.Int("epochs", 2, "epsilon-greedy refinement epochs after the per-arm sweep")
+	epsilon := flag.Float64("epsilon", 0.1, "per-plan exploration probability during refinement")
+	missWeight := flag.Float64("missweight", 1, "reward weight of the miss rate")
+	energyWeight := flag.Float64("energyweight", 0.05, "reward weight of average power (per watt)")
+	out := flag.String("out", "table.json", "trained table output path (\"-\" = stdout)")
+	flag.Parse()
+
+	// The flag defaults are non-zero, so both weights at zero means the
+	// user explicitly asked for a reward that scores every run 0 — the
+	// table's argmin would be arbitrary. Refuse rather than silently
+	// substituting the library defaults for an explicit request.
+	if *missWeight == 0 && *energyWeight == 0 {
+		log.Fatal("policytrain: -missweight 0 -energyweight 0 is a degenerate reward (every run scores 0); set at least one weight")
+	}
+
+	cfg := fleet.TrainConfig{
+		Seed:         *seed,
+		Workloads:    *workloads,
+		Workers:      *workers,
+		Epochs:       *epochs,
+		Epsilon:      *epsilon,
+		MissWeight:   *missWeight,
+		EnergyWeight: *energyWeight,
+	}
+	if *platforms != "" {
+		cfg.Platforms = strings.Split(*platforms, ",")
+	}
+	if *classes != "" {
+		for _, c := range strings.Split(*classes, ",") {
+			cfg.Classes = append(cfg.Classes, fleet.Class(c))
+		}
+	}
+	if *arms != "" {
+		cfg.Arms = strings.Split(*arms, ",")
+	}
+
+	table, rep, err := fleet.Train(cfg)
+	if err != nil {
+		log.Fatalf("policytrain: %v", err)
+	}
+
+	if *out == "-" {
+		raw, err := table.MarshalBytes()
+		if err != nil {
+			log.Fatalf("policytrain: %v", err)
+		}
+		os.Stdout.Write(raw)
+	} else if err := table.WriteFile(*out); err != nil {
+		log.Fatalf("policytrain: %v", err)
+	} else {
+		fmt.Fprintf(os.Stderr, "policytrain: wrote %s (%d states, %d runs)\n", *out, rep.States, rep.Runs)
+	}
+
+	printSummary(table, rep)
+}
+
+// printSummary renders the training outcome: per-arm sweep cost (the bar
+// the learned table must beat), how often each arm won a state, and the
+// fallback for unseen states.
+func printSummary(table *rtm.LearnedTable, rep fleet.TrainReport) {
+	chosen := map[string]int{}
+	for _, st := range table.States {
+		chosen[st.Arm]++
+	}
+	t := trace.NewTable(
+		fmt.Sprintf("training summary (seed %d: %d workloads, %d runs, %d states)",
+			table.Seed, rep.Workloads, rep.Runs, rep.States),
+		"arm", "sweepRuns", "sweepMeanCost", "statesWon")
+	names := append([]string(nil), rep.Arms...)
+	sort.Strings(names)
+	for _, name := range names {
+		s := rep.Sweep[name]
+		t.AddRow(name, s.Runs, s.MeanCost, chosen[name])
+	}
+	if _, err := t.WriteTo(os.Stderr); err != nil {
+		log.Fatalf("policytrain: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "fallback for unseen states: %s\n", table.Fallback)
+}

@@ -193,12 +193,68 @@ const DefaultPolicy = rtm.DefaultPolicy
 // fleetsim -policies. It panics on duplicate or empty names.
 func RegisterPolicy(name string, factory func() Policy) { rtm.Register(name, factory) }
 
+// RegisterParamPolicy adds a parameterised policy family: the registry
+// name "<prefix>:<arg>" resolves by calling factory(arg), which is how
+// per-instance-configured strategies (e.g. "learned:<table.json>") ride
+// the same name-based plumbing as the built-ins.
+func RegisterParamPolicy(prefix string, factory func(arg string) (Policy, error)) {
+	rtm.RegisterParam(prefix, factory)
+}
+
 // Policies lists all registered planning-policy names, sorted.
 func Policies() []string { return rtm.Policies() }
 
 // NewPolicy instantiates a registered planning policy by name ("" =
-// DefaultPolicy).
+// DefaultPolicy; "<prefix>:<arg>" resolves parameterised families, e.g.
+// "learned:table.json").
 func NewPolicy(name string) (Policy, error) { return rtm.NewPolicy(name) }
+
+// ---- Learned policy (trained strategy selection) ----
+
+type (
+	// LearnedTable is a trained state → base-policy selection table: the
+	// serialisable artifact behind the "learned:<table.json>" policy.
+	LearnedTable = rtm.LearnedTable
+	// LearnedState is one discretised state's per-arm training record.
+	LearnedState = rtm.LearnedState
+	// PolicyTrainConfig parametrises offline training of a LearnedTable
+	// over a seeded fleet.
+	PolicyTrainConfig = fleet.TrainConfig
+	// PolicyTrainReport summarises a training run (per-arm sweep costs,
+	// state coverage).
+	PolicyTrainReport = fleet.TrainReport
+	// ArmTrainStats is one arm's pure-sweep summary in a
+	// PolicyTrainReport.
+	ArmTrainStats = fleet.ArmTrainStats
+)
+
+// TrainPolicy trains a learned policy selection table on cfg.Workloads
+// seeded fleet workloads: a full per-arm sweep, then cfg.Epochs
+// epsilon-greedy refinement epochs. Same config, byte-identical table, at
+// any worker count.
+func TrainPolicy(cfg PolicyTrainConfig) (*LearnedTable, PolicyTrainReport, error) {
+	return fleet.Train(cfg)
+}
+
+// NewLearnedPolicy wraps a validated in-memory table as a Policy under the
+// given registry name (trainers evaluating a fresh table without a file
+// round-trip).
+func NewLearnedPolicy(name string, t *LearnedTable) (Policy, error) {
+	return rtm.NewLearnedPolicy(name, t)
+}
+
+// LoadLearnedPolicy reads a trained table file and wraps it as the Policy
+// "learned:<path>" — the same resolution the registry performs for that
+// name.
+func LoadLearnedPolicy(path string) (Policy, error) { return rtm.LoadLearnedPolicy(path) }
+
+// ReadLearnedTable reads and validates a trained table file.
+func ReadLearnedTable(path string) (*LearnedTable, error) { return rtm.ReadLearnedTableFile(path) }
+
+// PolicyStateKey discretises a planning View into the learned policy's
+// tabular state key (thermal headroom, power-budget ratio, worst deadline
+// slack, running-DNN count).
+func PolicyStateKey(v *View) string { return rtm.StateKey(v) }
 
 // Workload kind constants re-exported for App construction.
 const (
@@ -256,6 +312,10 @@ type (
 	FleetReport = fleet.Report
 	// FleetGroupStats summarises one slice of the fleet.
 	FleetGroupStats = fleet.GroupStats
+	// FleetRegretStats quantifies a swept policy's distance from the
+	// per-workload oracle (best policy in the sweep on the same
+	// bit-identical workload).
+	FleetRegretStats = fleet.RegretStats
 	// FleetShardResult is one process's share of a fleet run: results for
 	// a contiguous scenario range plus the header that proves shard
 	// compatibility on merge.

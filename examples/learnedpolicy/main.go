@@ -1,0 +1,101 @@
+// Learned policy, end to end: train a state → policy selection table on a
+// seeded fleet, inspect what it learned, then sweep it against its own
+// base policies on the same workloads and read the per-workload regret.
+//
+// This is the paper's "heuristic vs. learned managers" comparison made
+// runnable: the learned policy never invents knob settings — it only picks
+// which base strategy plans each tick, per discretised system state — so
+// everything it wins over the best single policy comes from switching
+// strategies as conditions change (thermal headroom, power budget,
+// deadline slack, app count).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	emlrtm "github.com/emlrtm/emlrtm"
+)
+
+func main() {
+	const workloads, seed = 24, 2026
+
+	// 1. Train: every workload under every arm, then epsilon-greedy
+	// refinement. Deterministic — rerunning this example retrains the
+	// byte-identical table.
+	cfg := emlrtm.PolicyTrainConfig{Seed: seed, Workloads: workloads, Epochs: 2, Epsilon: 0.1}
+	table, rep, err := emlrtm.TrainPolicy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained on %d workloads (%d runs): %d states, arms %v\n\n",
+		rep.Workloads, rep.Runs, rep.States, rep.Arms)
+
+	// 2. Inspect: the table is plain data — per state, per-arm visit
+	// counts and mean costs plus the greedy choice.
+	fmt.Println("what the table learned (state: chosen arm, per-arm mean cost):")
+	keys := make([]string, 0, len(table.States))
+	for k := range table.States {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		st := table.States[k]
+		fmt.Printf("  %-10s -> %-12s costs:", k, st.Arm)
+		for i, arm := range table.Arms {
+			if st.Visits[i] == 0 {
+				fmt.Printf("  %s=unvisited", arm)
+				continue
+			}
+			fmt.Printf("  %s=%.3f", arm, st.Cost[i])
+		}
+		fmt.Println()
+	}
+	fmt.Printf("  fallback for unseen states: %s\n\n", table.Fallback)
+
+	// 3. Serialise and reload through the registry: "learned:<path>" works
+	// anywhere a policy name does.
+	dir, err := os.MkdirTemp("", "learnedpolicy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "table.json")
+	if err := table.WriteFile(path); err != nil {
+		log.Fatal(err)
+	}
+	learned := "learned:" + path
+
+	// 4. Sweep the learned policy against its arms on the training fleet.
+	sweep := append(append([]string(nil), rep.Arms...), learned)
+	frep, _, err := emlrtm.RunFleet(
+		emlrtm.FleetGeneratorConfig{Seed: seed, Policies: sweep}, workloads, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-28s %7s %11s %10s | %10s %14s %16s\n",
+		"policy", "miss%", "p95Lat(ms)", "energy(J)", "oracleWins", "missRegret(pp)", "energyRegret(J)")
+	names := make([]string, 0, len(frep.ByPolicy))
+	for name := range frep.ByPolicy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g, r := frep.ByPolicy[name], frep.Regret[name]
+		display := name
+		if name == learned {
+			display = "learned"
+		}
+		fmt.Printf("%-28s %7.2f %11.1f %10.1f | %7d/%-2d %14.2f %16.2f\n",
+			display, 100*g.MissRate, 1000*g.P95LatencyS, g.EnergyMJ/1000,
+			r.OracleWins, r.Workloads, 100*r.MissRateRegret, r.EnergyRegretMJ/1000)
+	}
+
+	fmt.Println("\nregret reads against the per-workload oracle: zero means never")
+	fmt.Println("beaten on that metric. The learned row should sit at or below every")
+	fmt.Println("base policy — on its training seed it only has to pick the right arm.")
+}

@@ -6,6 +6,7 @@ package emlrtm
 import (
 	"bytes"
 	"encoding/json"
+	"path/filepath"
 	"testing"
 )
 
@@ -284,6 +285,63 @@ func (facadeCustomPolicy) Plan(v View) []Assignment {
 		return nil
 	}
 	return p.Plan(v)
+}
+
+// TestFacadeLearnedPolicy walks the learned-policy surface end to end
+// through the facade: train a tiny table, serialise it, resolve it back
+// through the parameterised registry name, and sweep it against a base
+// policy with regret in the report.
+func TestFacadeLearnedPolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a fleet")
+	}
+	cfg := PolicyTrainConfig{
+		Seed: 6, Workloads: 4, Epochs: 1,
+		Platforms: []string{"odroid-xu3"}, Classes: []FleetClass{"steady"},
+	}
+	table, rep, err := TrainPolicy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.States == 0 || len(rep.Arms) != 3 {
+		t.Fatalf("train report %+v, want states and the three default arms", rep)
+	}
+	path := filepath.Join(t.TempDir(), "table.json")
+	if err := table.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadLearnedTable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fallback != table.Fallback {
+		t.Fatalf("round-trip changed the fallback: %q vs %q", back.Fallback, table.Fallback)
+	}
+	name := "learned:" + path
+	pol, err := NewPolicy(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Name() != name {
+		t.Fatalf("Name() = %q, want %q", pol.Name(), name)
+	}
+	frep, _, err := RunFleet(FleetGeneratorConfig{
+		Seed: 6, Platforms: []string{"odroid-xu3"}, Classes: []FleetClass{"steady"},
+		Policies: []string{"heuristic", name},
+	}, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := frep.ByPolicy[name]; !ok {
+		t.Fatalf("learned policy missing from ByPolicy: %v", frep.ByPolicy)
+	}
+	lr, ok := frep.Regret[name]
+	if !ok {
+		t.Fatalf("learned policy missing from Regret: %v", frep.Regret)
+	}
+	if lr.Workloads != 4 || lr.MissRateRegret < 0 || lr.EnergyRegretMJ < 0 {
+		t.Fatalf("learned regret %+v, want 4 workloads and non-negative regret", lr)
+	}
 }
 
 func TestFacadeBaselines(t *testing.T) {

@@ -20,7 +20,14 @@ type GroupStats struct {
 
 	MeanLatencyS float64 `json:"meanLatencyS"`
 	P95LatencyS  float64 `json:"p95LatencyS"`
-	MaxLatencyS  float64 `json:"maxLatencyS"`
+	// P95Approx marks P95LatencyS as approximate: at least one of the
+	// group's scenarios ran with its raw latency samples dropped
+	// (Runner.DropLatencies / fleetsim -nolat), so the group percentile
+	// could not pool every job latency and fell back to the worst
+	// per-scenario p95 for the sample-free scenarios. omitempty keeps
+	// full-latency reports byte-identical to the pre-marker format.
+	P95Approx   bool    `json:"p95Approx,omitempty"`
+	MaxLatencyS float64 `json:"maxLatencyS"`
 
 	EnergyMJ      float64 `json:"energyMJ"`      // total across the group
 	SimSeconds    float64 `json:"simSeconds"`    // total simulated time
@@ -33,18 +40,45 @@ type GroupStats struct {
 	OPPSwitches int `json:"oppSwitches"`
 }
 
+// RegretStats quantifies how far one swept policy sits from the
+// per-workload oracle — the best policy in the sweep on the same
+// bit-identical workload. Because a sweep replays each sampled workload
+// under every policy, the oracle is observable, not hypothetical: for each
+// workload and metric the oracle value is simply the best value any swept
+// policy achieved on that exact run. Regret is the policy's mean excess
+// over that oracle, so zero regret on a metric means the policy was never
+// beaten on it.
+type RegretStats struct {
+	// Workloads is how many swept workloads this policy was compared on
+	// (workloads where any policy's run errored are excluded — a failed
+	// run has no comparable miss rate or energy).
+	Workloads int `json:"workloads"`
+	// OracleWins counts workloads where this policy *is* the oracle under
+	// the sweep's selection order (lowest miss rate, energy breaking
+	// ties); ties share the win.
+	OracleWins int `json:"oracleWins"`
+	// MissRateRegret is the mean over workloads of (policy miss rate −
+	// best swept miss rate on that workload); 0 means never beaten on QoS.
+	MissRateRegret float64 `json:"missRateRegret"`
+	// EnergyRegretMJ is the mean over workloads of (policy energy − best
+	// swept energy on that workload), in mJ.
+	EnergyRegretMJ float64 `json:"energyRegretMJ"`
+}
+
 // Report is the aggregate outcome of a fleet run, broken down by platform,
 // scenario class and — when the fleet sweeps more than one planning policy
-// — by policy. ByPolicy is omitted for single-policy fleets, where it
-// would duplicate Overall row for row (this also keeps single-policy
+// — by policy. ByPolicy and Regret are omitted for single-policy fleets,
+// where ByPolicy would duplicate Overall row for row and a one-policy
+// sweep has no oracle to regret against (this also keeps single-policy
 // reports byte-identical to the pre-sweep format). Maps marshal with
 // sorted keys, so the JSON encoding is deterministic.
 type Report struct {
-	Seed       uint64                `json:"seed"`
-	Overall    GroupStats            `json:"overall"`
-	ByPlatform map[string]GroupStats `json:"byPlatform"`
-	ByClass    map[Class]GroupStats  `json:"byClass"`
-	ByPolicy   map[string]GroupStats `json:"byPolicy,omitempty"`
+	Seed       uint64                 `json:"seed"`
+	Overall    GroupStats             `json:"overall"`
+	ByPlatform map[string]GroupStats  `json:"byPlatform"`
+	ByClass    map[Class]GroupStats   `json:"byClass"`
+	ByPolicy   map[string]GroupStats  `json:"byPolicy,omitempty"`
+	Regret     map[string]RegretStats `json:"regret,omitempty"`
 }
 
 // group accumulates results before finalisation.
@@ -117,6 +151,10 @@ func (g *group) finalise() GroupStats {
 	if g.scalarP95 > s.P95LatencyS {
 		s.P95LatencyS = g.scalarP95
 	}
+	// Any sample-free scenario makes the group percentile approximate —
+	// even when the pooled samples happened to win the max above, the pool
+	// was incomplete.
+	s.P95Approx = g.scalarCount > 0
 	if s.SimSeconds > 0 {
 		s.ThermalRate = s.OverThrottleS / s.SimSeconds
 	}
@@ -159,14 +197,123 @@ func Aggregate(seed uint64, results []Result) Report {
 		rep.ByClass[class] = g.finalise()
 	}
 	// A policy breakdown of a single-policy fleet would repeat Overall;
-	// only sweeps get one.
+	// only sweeps get one — and only sweeps have an oracle to regret
+	// against.
 	if len(byPol) > 1 {
 		rep.ByPolicy = map[string]GroupStats{}
 		for name, g := range byPol {
 			rep.ByPolicy[name] = g.finalise()
 		}
+		rep.Regret = regret(results)
 	}
 	return rep
+}
+
+// missRate is a result's deadline-miss fraction, (missed+dropped)/
+// released — the QoS scalar regret and the trainer's reward both score.
+func missRate(r Result) float64 {
+	if r.Released == 0 {
+		return 0
+	}
+	return float64(r.Missed+r.Dropped) / float64(r.Released)
+}
+
+// workloadKey identifies one bit-identical sampled workload inside a
+// policy sweep: the generator gives every run of a workload the same seed,
+// name, platform and class, varying only the policy. Hand-built results
+// that share all four fields are treated as the same workload.
+type workloadKey struct {
+	seed     uint64
+	name     string
+	platform string
+	class    Class
+}
+
+// regret computes per-policy RegretStats from sweep results: group runs by
+// workload, find each workload's per-metric oracle values, and charge
+// every policy its excess. Workloads touched by an errored run are
+// excluded whole — a crash has no miss rate to compare, and comparing the
+// survivors only would bias their regret down. Group iteration is
+// first-seen order over the results slice, so the computation (a float
+// accumulation per policy) is deterministic whenever the results order is.
+// Returns nil when no workload was run under more than one policy.
+func regret(results []Result) map[string]RegretStats {
+	type wl struct {
+		runs    []Result
+		errored bool
+	}
+	var order []workloadKey
+	groups := map[workloadKey]*wl{}
+	for _, r := range results {
+		k := workloadKey{r.Seed, r.Name, r.Platform, r.Class}
+		g := groups[k]
+		if g == nil {
+			g = &wl{}
+			groups[k] = g
+			order = append(order, k)
+		}
+		if r.Err != "" {
+			g.errored = true
+			continue
+		}
+		g.runs = append(g.runs, r)
+	}
+	type acc struct {
+		workloads int
+		wins      int
+		missSum   float64
+		energySum float64
+	}
+	accs := map[string]*acc{}
+	for _, k := range order {
+		g := groups[k]
+		if g.errored || len(g.runs) < 2 {
+			continue
+		}
+		// Per-metric oracle values, plus the combined oracle (min miss
+		// rate, energy breaking ties) for win counting.
+		bestMiss, bestEnergy := missRate(g.runs[0]), g.runs[0].EnergyMJ
+		winMiss, winEnergy := bestMiss, bestEnergy
+		for _, r := range g.runs[1:] {
+			m := missRate(r)
+			if m < bestMiss {
+				bestMiss = m
+			}
+			if r.EnergyMJ < bestEnergy {
+				bestEnergy = r.EnergyMJ
+			}
+			if m < winMiss || (m == winMiss && r.EnergyMJ < winEnergy) {
+				winMiss, winEnergy = m, r.EnergyMJ
+			}
+		}
+		for _, r := range g.runs {
+			a := accs[r.Policy]
+			if a == nil {
+				a = &acc{}
+				accs[r.Policy] = a
+			}
+			m := missRate(r)
+			a.workloads++
+			a.missSum += m - bestMiss
+			a.energySum += r.EnergyMJ - bestEnergy
+			if m == winMiss && r.EnergyMJ == winEnergy {
+				a.wins++
+			}
+		}
+	}
+	if len(accs) == 0 {
+		return nil
+	}
+	out := make(map[string]RegretStats, len(accs))
+	for name, a := range accs {
+		out[name] = RegretStats{
+			Workloads:      a.workloads,
+			OracleWins:     a.wins,
+			MissRateRegret: a.missSum / float64(a.workloads),
+			EnergyRegretMJ: a.energySum / float64(a.workloads),
+		}
+	}
+	return out
 }
 
 // Run is the one-call entry point: generate n workloads from the config,

@@ -4,11 +4,12 @@ import (
 	"encoding/json"
 	"math"
 	"sort"
+	"strings"
 	"testing"
 )
 
-// TestPercentileEdgeCases pins the nearest-rank convention
-// (rank = round(n*p), 1-based, clamped) on the boundaries that matter
+// TestPercentileEdgeCases pins the true nearest-rank convention
+// (rank = ceil(n*p), 1-based, clamped) on the boundaries that matter
 // for pooled p95 stats: empty and single-sample inputs, and sample
 // counts where the p=0.95 rank sits exactly on a rounding boundary.
 func TestPercentileEdgeCases(t *testing.T) {
@@ -34,11 +35,13 @@ func TestPercentileEdgeCases(t *testing.T) {
 		{"single sample p1", []float64{3.25}, 1, 3.25},
 		{"p0 clamps to min", ascending(10), 0, 1},
 		{"p1 selects max", ascending(10), 1, 10},
-		// n=10: round(9.5) = 10, so p95 selects the maximum.
+		// n=10: ceil(9.5) = 10, so p95 selects the maximum.
 		{"p95 n=10 rounds up to max", ascending(10), 0.95, 10},
-		// n=20: round(19.0) = 19, so p95 leaves the maximum out.
+		// n=20: ceil(19.0) = 19, so p95 leaves the maximum out.
 		{"p95 n=20 leaves headroom", ascending(20), 0.95, 19},
-		{"p95 n=19", ascending(19), 0.95, 18},
+		// n=19: ceil(18.05) = 19 — round-half-up gave 18 here, the defect
+		// TestPercentileNearestRankVsRoundHalfUp pins from both sides.
+		{"p95 n=19", ascending(19), 0.95, 19},
 		{"p95 n=21", ascending(21), 0.95, 20},
 		{"p95 n=100", ascending(100), 0.95, 95},
 		{"p50 even count", ascending(4), 0.5, 2},
@@ -49,6 +52,48 @@ func TestPercentileEdgeCases(t *testing.T) {
 		if got := percentile(tc.samples, tc.p); got != tc.want {
 			t.Errorf("%s: percentile(n=%d, p=%g) = %g, want %g",
 				tc.name, len(tc.samples), tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestPercentileNearestRankVsRoundHalfUp pins the cases where true
+// nearest-rank (rank = ceil(n*p)) and the round-half-up rank the
+// implementation used to compute (rank = int(n*p + 0.5)) diverge: any
+// n*p whose fractional part lies in (0, 0.5) rounds down under the old
+// rule, selecting a sample that covers fewer than the requested n*p
+// observations. Each case states both ranks so a regression to either
+// definition fails with a readable diff.
+func TestPercentileNearestRankVsRoundHalfUp(t *testing.T) {
+	ascending := func(n int) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = float64(i + 1)
+		}
+		return s
+	}
+	cases := []struct {
+		n           int
+		p           float64
+		nearestRank int // ceil(n*p): what percentile must return
+		roundedRank int // int(n*p+0.5): the old, wrong selection
+	}{
+		{10, 0.91, 10, 9}, // the ISSUE case: ceil(9.1)=10, round(9.1)=9
+		{19, 0.95, 19, 18},
+		{7, 0.30, 3, 2}, // ceil(2.1)=3, round(2.1)=2
+		{25, 0.85, 22, 21},
+		{3, 0.50, 2, 2},    // frac = 0.5: both agree
+		{20, 0.95, 19, 19}, // integer product: both agree
+		{10, 0.95, 10, 10}, // frac = 0.5: both agree
+	}
+	for _, tc := range cases {
+		samples := ascending(tc.n)
+		got := percentile(samples, tc.p)
+		if got != float64(tc.nearestRank) {
+			t.Errorf("percentile(n=%d, p=%g) = %g, want nearest-rank %d (round-half-up would give %d)",
+				tc.n, tc.p, got, tc.nearestRank, tc.roundedRank)
+		}
+		if tc.nearestRank != tc.roundedRank && got == float64(tc.roundedRank) {
+			t.Errorf("percentile(n=%d, p=%g) regressed to round-half-up rank %d", tc.n, tc.p, tc.roundedRank)
 		}
 	}
 }
@@ -139,6 +184,119 @@ func TestAggregateScalarFallback(t *testing.T) {
 	wj, _ := json.Marshal(want)
 	if string(ej) != string(wj) {
 		t.Errorf("full-sample aggregate changed:\n got %s\nwant %s", ej, wj)
+	}
+}
+
+// TestAggregateP95ApproxMarker: a group whose percentile pooled every raw
+// sample reports an exact p95 (and, via omitempty, keeps its JSON bytes),
+// while any group a sample-free scenario contributed to carries the
+// p95Approx marker — including the mixed case where the pooled raw samples
+// happened to dominate the scalar fallback, which used to be
+// indistinguishable from an exact percentile.
+func TestAggregateP95ApproxMarker(t *testing.T) {
+	full := Result{
+		ID: 0, Class: ClassSteady, Platform: "jetson-nano",
+		Released: 4, Completed: 4, DurationS: 10,
+		Latencies:    []float64{1, 2, 3, 9},
+		MeanLatencyS: 3.75, P95LatencyS: 9, MaxLatencyS: 9,
+	}
+	dropped := Result{
+		ID: 1, Class: ClassSteady, Platform: "jetson-nano",
+		Released: 2, Completed: 2, DurationS: 10,
+		MeanLatencyS: 1.5, P95LatencyS: 2, MaxLatencyS: 2,
+	}
+
+	exact := Aggregate(1, []Result{full})
+	if exact.Overall.P95Approx {
+		t.Error("full-sample group marked approximate")
+	}
+	if raw, err := json.Marshal(exact.Overall); err != nil {
+		t.Fatal(err)
+	} else if strings.Contains(string(raw), "p95Approx") {
+		t.Errorf("exact group JSON leaks the marker: %s", raw)
+	}
+
+	// Mixed group where raw samples win the p95 anyway: still approximate.
+	mixed := Aggregate(1, []Result{full, dropped})
+	if g := mixed.Overall; !g.P95Approx || g.P95LatencyS != 9 {
+		t.Errorf("mixed group p95/approx = %g/%v, want 9/true", g.P95LatencyS, g.P95Approx)
+	}
+	if raw, err := json.Marshal(mixed.Overall); err != nil {
+		t.Fatal(err)
+	} else if !strings.Contains(string(raw), `"p95Approx":true`) {
+		t.Errorf("mixed group JSON lacks the marker: %s", raw)
+	}
+
+	// All-scalar group: the p95 is the worst per-scenario p95, marked.
+	scalar := Aggregate(1, []Result{dropped})
+	if g := scalar.Overall; !g.P95Approx || g.P95LatencyS != 2 {
+		t.Errorf("scalar group p95/approx = %g/%v, want 2/true", g.P95LatencyS, g.P95Approx)
+	}
+}
+
+// TestAggregateRegret pins the per-policy regret computation on a
+// hand-built two-workload sweep where the oracle is obvious: policy "a"
+// wins workload 1 on both metrics, policy "b" wins workload 2 on miss rate
+// while "a" keeps the energy oracle, so "b" carries energy regret even on
+// the workload it wins.
+func TestAggregateRegret(t *testing.T) {
+	mk := func(id int, seed uint64, name, pol string, missed int, energy float64) Result {
+		return Result{
+			ID: id, Seed: seed, Name: name, Class: ClassSteady,
+			Platform: "jetson-nano", Policy: pol,
+			Released: 10, Completed: 10 - missed, Missed: missed,
+			DurationS: 10, EnergyMJ: energy,
+		}
+	}
+	results := []Result{
+		mk(0, 11, "wl1", "a", 0, 100), // oracle of wl1 outright
+		mk(1, 11, "wl1", "b", 2, 150),
+		mk(2, 22, "wl2", "a", 3, 200), // energy oracle of wl2
+		mk(3, 22, "wl2", "b", 1, 260), // miss-rate oracle (and combined) of wl2
+	}
+	rep := Aggregate(1, results)
+	if rep.Regret == nil {
+		t.Fatal("sweep report missing regret")
+	}
+	a, b := rep.Regret["a"], rep.Regret["b"]
+	if a.Workloads != 2 || b.Workloads != 2 {
+		t.Fatalf("workloads = %d/%d, want 2/2", a.Workloads, b.Workloads)
+	}
+	if a.OracleWins != 1 || b.OracleWins != 1 {
+		t.Errorf("oracle wins = %d/%d, want 1/1 (a takes wl1, b takes wl2 on miss rate)", a.OracleWins, b.OracleWins)
+	}
+	approx := func(got, want float64) bool {
+		return math.Abs(got-want) < 1e-12
+	}
+	// a: wl1 regret 0/0; wl2 miss regret 0.3-0.1=0.2, energy regret 0.
+	if want := 0.2 / 2; !approx(a.MissRateRegret, want) {
+		t.Errorf("a.MissRateRegret = %g, want %g", a.MissRateRegret, want)
+	}
+	if a.EnergyRegretMJ != 0 {
+		t.Errorf("a.EnergyRegretMJ = %g, want 0", a.EnergyRegretMJ)
+	}
+	// b: wl1 miss regret 0.2, energy regret 50; wl2 miss regret 0, energy
+	// regret 60 (the energy oracle on wl2 is a's 200).
+	if want := 0.2 / 2; !approx(b.MissRateRegret, want) {
+		t.Errorf("b.MissRateRegret = %g, want %g", b.MissRateRegret, want)
+	}
+	if want := (50.0 + 60.0) / 2; b.EnergyRegretMJ != want {
+		t.Errorf("b.EnergyRegretMJ = %g, want %g", b.EnergyRegretMJ, want)
+	}
+
+	// An errored run poisons its whole workload: neither policy is
+	// charged or credited for it.
+	bad := mk(4, 33, "wl3", "a", 0, 1)
+	bad.Err = "boom"
+	withErr := Aggregate(1, append(results, bad, mk(5, 33, "wl3", "b", 0, 2)))
+	if g := withErr.Regret["b"]; g.Workloads != 2 {
+		t.Errorf("errored workload leaked into regret: b.Workloads = %d, want 2", g.Workloads)
+	}
+
+	// Single-policy fleets carry no regret block at all.
+	single := Aggregate(1, []Result{mk(0, 11, "wl1", "a", 0, 100), mk(1, 22, "wl2", "a", 1, 50)})
+	if single.Regret != nil || single.ByPolicy != nil {
+		t.Errorf("single-policy report grew regret/byPolicy: %+v / %+v", single.Regret, single.ByPolicy)
 	}
 }
 

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -92,6 +93,13 @@ func runOne(s Scenario, keepLatencies bool) Result {
 		Policy:   script.Policy,
 		Seed:     s.Seed,
 	}
+	if script.Planner != nil {
+		// An injected policy instance (workload.Scenario.Planner) plans
+		// the run regardless of the Policy name; label the result after
+		// what actually planned, or per-policy aggregates would charge
+		// its miss/energy numbers to the named (default) policy's group.
+		res.Policy = script.Planner.Name()
+	}
 	if res.Policy == "" {
 		res.Policy = rtm.DefaultPolicy
 	}
@@ -167,14 +175,26 @@ func percentile(samples []float64, p float64) float64 {
 	return percentileSorted(s, p)
 }
 
-// percentileSorted returns the p-quantile (nearest-rank) of samples that
-// are already sorted ascending — percentile without the per-quantile copy
-// and sort, so p50/p95/max reads off one sorted slice share a single sort.
+// percentileSorted returns the p-quantile (true nearest-rank, rank =
+// ceil(n·p), 1-based, clamped to [1, n]) of samples that are already sorted
+// ascending — percentile without the per-quantile copy and sort, so
+// p50/p95/max reads off one sorted slice share a single sort.
+//
+// Nearest-rank never interpolates and never selects below the requested
+// coverage: the returned sample is ≥ at least ⌈n·p⌉ of the n samples. The
+// round-half-up rank this replaced (int(n·p+0.5)) under-selected whenever
+// n·p had a fractional part below one half — e.g. n=10, p=0.91 gave rank 9
+// where nearest-rank requires ⌈9.1⌉ = 10.
 func percentileSorted(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := int(float64(len(sorted))*p+0.5) - 1
+	// The (1 - 1e-12) nudge absorbs representation dust in n·p: an exact
+	// integer product that lands a hair above its true value (9.1 is not
+	// representable; 10×0.91 evaluates to 9.099999…96, but 100×0.91 to
+	// 91.000000…1) must not ceil one rank too high.
+	np := float64(len(sorted)) * p
+	idx := int(math.Ceil(np*(1-1e-12))) - 1
 	if idx < 0 {
 		idx = 0
 	}

@@ -42,6 +42,12 @@ type Scenario struct {
 	// ("" = the default heuristic). Run resolves it via rtm.NewPolicy, so
 	// the same scripted workload can be replayed under any strategy.
 	Policy string
+	// Planner, when non-nil, is the policy *instance* the manager runs,
+	// taking precedence over Policy. It exists for callers whose policies
+	// carry per-run state the name registry cannot construct — the fleet
+	// trainer's recording/exploring policies — while keeping every other
+	// execution detail identical to a named run.
+	Planner rtm.Policy
 }
 
 // ScenarioController wraps a manager, applying scripted actions at their
@@ -189,9 +195,13 @@ func Fig5Scenario(prof perf.ModelProfile) Scenario {
 // Run executes a scenario with the manager in the loop and returns the
 // engine for inspection, the manager, and the final report.
 func Run(s Scenario, plat *hw.Platform, tickS float64, logf func(string, ...any)) (*sim.Engine, *rtm.Manager, sim.Report, error) {
-	pol, err := rtm.NewPolicy(s.Policy)
-	if err != nil {
-		return nil, nil, sim.Report{}, err
+	pol := s.Planner
+	if pol == nil {
+		var err error
+		pol, err = rtm.NewPolicy(s.Policy)
+		if err != nil {
+			return nil, nil, sim.Report{}, err
+		}
 	}
 	mgr := rtm.NewManager(s.Reqs)
 	mgr.SetPolicy(pol)
