@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -41,6 +42,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/emlrtm/emlrtm/internal/atomicfile"
 	"github.com/emlrtm/emlrtm/internal/fleet"
 	"github.com/emlrtm/emlrtm/internal/hw"
 	"github.com/emlrtm/emlrtm/internal/rtm"
@@ -152,7 +154,13 @@ func main() {
 		os.Stdout.Write(enc)
 		return
 	}
-	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+	// Atomic (temp + rename): this file carries the recorded perf
+	// trajectory, and a crash mid-write must not leave a truncated
+	// artifact that the next run's fail-loud baseline parse rejects.
+	if err := atomicfile.WriteFile(*out, func(w io.Writer) error {
+		_, werr := w.Write(enc)
+		return werr
+	}); err != nil {
 		log.Fatalf("fleetbench: %v", err)
 	}
 	fmt.Fprintf(os.Stderr, "fleetbench: wrote %s\n", *out)

@@ -28,6 +28,29 @@
 //	fleetsim -scenarios 64 -seed 1 -shard 2/2 -out shard2.json.gz
 //	fleetsim merge shard1.json.gz shard2.json.gz
 //
+// -stream makes a shard crash-resumable: instead of one JSON document
+// written at the end, the shard appends each completed scenario to -out as
+// an NDJSON record (header line first), flushed as it completes. -resume
+// (which implies -stream) restarts an interrupted stream from its last
+// flushed scenario — a shard killed at scenario 700/1000 re-runs only
+// 700..999. "fleetsim merge" accepts completed streams and classic shard
+// files interchangeably:
+//
+//	fleetsim -scenarios 1000 -seed 1 -shard 1/2 -stream -out s1.ndjson
+//	# …SIGKILL…
+//	fleetsim -scenarios 1000 -seed 1 -shard 1/2 -resume -out s1.ndjson
+//	fleetsim merge s1.ndjson s2.ndjson
+//
+// "fleetsim orchestrate" supervises a whole sharded run in one command: it
+// dispatches -shards m shard subprocesses (each streaming into the -out
+// directory), watches stream progress, kills stalled shards (-stall),
+// retries failed ranges with bounded backoff (-retries), resumes any
+// partial streams already in the directory, and merges as shards
+// complete. The report on stdout is byte-identical to the single-process
+// run:
+//
+//	fleetsim orchestrate -scenarios 1000 -seed 1 -shards 4 -out streams/
+//
 // -nolat drops the raw per-job latency samples from results and shard
 // files — they dominate shard bytes, so million-scenario fleets run with
 // it. Per-scenario mean/p95/max stay exact; pooled group p95 degrades to
@@ -38,8 +61,11 @@
 //
 //	fleetsim [-scenarios 64] [-seed 1] [-workers N] [-platforms a,b]
 //	         [-classes steady,thermal] [-policy name | -policies a,b]
-//	         [-format json|table] [-results] [-nolat] [-shard i/m] [-out file]
+//	         [-format json|table] [-results] [-nolat] [-shard i/m]
+//	         [-stream] [-resume] [-out file]
 //	fleetsim merge [-format json|table] [-results] [-out file] shard.json...
+//	fleetsim orchestrate -shards m -out dir [-scenarios N] [-seed S]
+//	         [-stall 30s] [-retries 2] [-format json|table] [-results]
 package main
 
 import (
@@ -52,17 +78,39 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/emlrtm/emlrtm/internal/fleet"
 	"github.com/emlrtm/emlrtm/internal/trace"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "merge" {
-		mergeMain(os.Args[2:])
-		return
+	// Subcommands are dispatched strictly: an unknown word where a
+	// subcommand goes must fail with usage, not silently run the default
+	// fleet ("fleetsim mrege a.json b.json" burning minutes of simulation
+	// was the failure mode).
+	if len(os.Args) > 1 && !strings.HasPrefix(os.Args[1], "-") {
+		switch os.Args[1] {
+		case "merge":
+			mergeMain(os.Args[2:])
+			return
+		case "orchestrate":
+			orchestrateMain(os.Args[2:])
+			return
+		default:
+			fmt.Fprintf(os.Stderr, "fleetsim: unknown subcommand %q (want merge or orchestrate)\n", os.Args[1])
+			usage(os.Stderr)
+			os.Exit(2)
+		}
 	}
 	runMain()
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: fleetsim [flags]                    run a fleet (or one shard with -shard)")
+	fmt.Fprintln(w, "       fleetsim merge [flags] shard...     merge shard files into a report")
+	fmt.Fprintln(w, "       fleetsim orchestrate [flags]        dispatch, supervise and merge shard processes")
+	fmt.Fprintln(w, "run 'fleetsim -h', 'fleetsim merge -h' or 'fleetsim orchestrate -h' for flags")
 }
 
 func runMain() {
@@ -79,7 +127,16 @@ func runMain() {
 	shard := flag.String("shard", "", "run only shard i of m, as \"i/m\" (1-based); output is a shard file for \"fleetsim merge\"")
 	out := flag.String("out", "", "write output to this file instead of stdout")
 	nolat := flag.Bool("nolat", false, "drop raw per-job latency samples from results and shard files (scalar mean/p95/max stay; group p95 becomes the worst per-scenario p95)")
+	stream := flag.Bool("stream", false, "with -shard: append each completed scenario to -out as a flushed NDJSON record (crash-resumable; mergeable once complete)")
+	resume := flag.Bool("resume", false, "with -shard: resume an interrupted stream at -out from its last flushed scenario (implies -stream)")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		// Stray positional args mean a mistyped invocation; running the
+		// default fleet anyway would silently ignore the user's intent.
+		fmt.Fprintf(os.Stderr, "fleetsim: unexpected argument %q\n", flag.Arg(0))
+		usage(os.Stderr)
+		os.Exit(2)
+	}
 
 	// Validate everything cheap before simulating: a bad -format or -shard
 	// must fail now, not after minutes of fleet execution.
@@ -89,23 +146,9 @@ func runMain() {
 	if *scenarios <= 0 {
 		log.Fatalf("fleetsim: -scenarios %d must be positive", *scenarios)
 	}
-	cfg := fleet.GeneratorConfig{Seed: *seed}
-	if *platforms != "" {
-		cfg.Platforms = strings.Split(*platforms, ",")
-	}
-	if *classes != "" {
-		for _, c := range strings.Split(*classes, ",") {
-			cfg.Classes = append(cfg.Classes, fleet.Class(c))
-		}
-	}
-	if *policy != "" && *policies != "" {
-		log.Fatalf("fleetsim: -policy and -policies are mutually exclusive")
-	}
-	if *policy != "" {
-		cfg.Policies = []string{*policy}
-	}
-	if *policies != "" {
-		cfg.Policies = strings.Split(*policies, ",")
+	cfg, err := buildConfig(*seed, *platforms, *classes, *policy, *policies)
+	if err != nil {
+		log.Fatalf("fleetsim: %v", err)
 	}
 	shardIdx, shardCount, err := parseShard(*shard)
 	if err != nil {
@@ -116,6 +159,33 @@ func runMain() {
 	gen, err := fleet.NewGenerator(cfg)
 	if err != nil {
 		log.Fatalf("fleetsim: %v", err)
+	}
+
+	if *stream || *resume {
+		if shardCount == 0 {
+			log.Fatalf("fleetsim: -stream/-resume require -shard (streams are per-shard result files)")
+		}
+		if *out == "" {
+			log.Fatalf("fleetsim: -stream/-resume require -out (the stream file)")
+		}
+		if *format != "json" || *results {
+			log.Fatalf("fleetsim: -format/-results have no effect with -shard; use them on \"fleetsim merge\"")
+		}
+		if !*resume {
+			// A fresh -stream must not silently extend or clobber an
+			// existing file; resuming is an explicit choice.
+			if fi, err := os.Stat(*out); err == nil && fi.Size() > 0 {
+				log.Fatalf("fleetsim: %s already exists; pass -resume to continue it", *out)
+			}
+		}
+		runner := &fleet.Runner{Workers: *workers, DropLatencies: *nolat}
+		if *progress {
+			runner.Progress = progressFunc()
+		}
+		if _, err := runner.ResumeShard(*out, cfg, *scenarios, shardIdx, shardCount); err != nil {
+			log.Fatalf("fleetsim: %v", err)
+		}
+		return
 	}
 
 	if shardCount > 0 {
@@ -177,9 +247,9 @@ func mergeMain(args []string) {
 	}
 	shards := make([]fleet.ShardResult, 0, fs.NArg())
 	for _, path := range fs.Args() {
-		s, err := fleet.ReadShardFile(path)
+		s, err := fleet.ReadShardFile(path) // its errors name the file
 		if err != nil {
-			log.Fatalf("fleetsim merge: %s: %v", path, err)
+			log.Fatalf("fleetsim merge: %v", err)
 		}
 		shards = append(shards, s)
 	}
@@ -191,6 +261,125 @@ func mergeMain(args []string) {
 		res = nil
 	}
 	writeOutput(*out, func(w io.Writer) error { return writeReport(w, *format, rep, res) })
+}
+
+func orchestrateMain(args []string) {
+	fs := flag.NewFlagSet("orchestrate", flag.ExitOnError)
+	scenarios := fs.Int("scenarios", 64, "number of scenarios in the fleet")
+	seed := fs.Uint64("seed", 1, "master seed (per-scenario seeds derive from it)")
+	workers := fs.Int("workers", 0, "worker pool size per shard process (0 = NumCPU)")
+	platforms := fs.String("platforms", "", "comma-separated platform names (empty = all)")
+	classes := fs.String("classes", "", "comma-separated scenario classes (empty = all)")
+	policy := fs.String("policy", "", "runtime-manager planning policy (empty = heuristic)")
+	policies := fs.String("policies", "", "comma-separated policies to sweep over the same workloads")
+	nolat := fs.Bool("nolat", false, "drop raw per-job latency samples (forwarded to every shard)")
+	shards := fs.Int("shards", 2, "number of shard subprocesses to dispatch")
+	out := fs.String("out", "", "directory for per-shard stream files (required; partial streams there are resumed)")
+	stall := fs.Duration("stall", 30*time.Second, "kill a shard whose stream makes no progress for this long (0 disables)")
+	retries := fs.Int("retries", 2, "retries per shard after its first failed attempt")
+	backoff := fs.Duration("backoff", 500*time.Millisecond, "wait before the first retry, doubling per attempt")
+	format := fs.String("format", "json", "report output format: json or table")
+	results := fs.Bool("results", false, "include per-scenario results (json format)")
+	quiet := fs.Bool("quiet", false, "suppress shard progress on stderr")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: fleetsim orchestrate -shards m -out dir [flags]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		log.Fatalf("fleetsim orchestrate: %v", err)
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "fleetsim orchestrate: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		os.Exit(2)
+	}
+	if *format != "json" && *format != "table" {
+		log.Fatalf("fleetsim orchestrate: unknown format %q (want json or table)", *format)
+	}
+	if *out == "" {
+		log.Fatalf("fleetsim orchestrate: -out directory is required")
+	}
+	cfg, err := buildConfig(*seed, *platforms, *classes, *policy, *policies)
+	if err != nil {
+		log.Fatalf("fleetsim orchestrate: %v", err)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatalf("fleetsim orchestrate: locating own binary: %v", err)
+	}
+	// Each shard is this same binary in -resume mode: a retry after a
+	// crash or a stall-kill picks up from the last flushed scenario.
+	argv := func(spec fleet.ShardSpec) []string {
+		a := []string{exe,
+			"-scenarios", fmt.Sprint(*scenarios),
+			"-seed", fmt.Sprint(*seed),
+			"-shard", fmt.Sprintf("%d/%d", spec.Index+1, spec.Count),
+			"-resume",
+			"-out", spec.Path,
+			"-workers", fmt.Sprint(*workers),
+		}
+		if *platforms != "" {
+			a = append(a, "-platforms", *platforms)
+		}
+		if *classes != "" {
+			a = append(a, "-classes", *classes)
+		}
+		if *policy != "" {
+			a = append(a, "-policy", *policy)
+		}
+		if *policies != "" {
+			a = append(a, "-policies", *policies)
+		}
+		if *nolat {
+			a = append(a, "-nolat")
+		}
+		return a
+	}
+	ocfg := fleet.OrchestratorConfig{
+		Config:       cfg,
+		Workloads:    *scenarios,
+		Shards:       *shards,
+		Dir:          *out,
+		Start:        fleet.CommandStart(argv, os.Stderr),
+		StallTimeout: *stall,
+		MaxAttempts:  *retries + 1,
+		RetryBackoff: *backoff,
+	}
+	if !*quiet {
+		ocfg.Logf = func(f string, args ...any) { fmt.Fprintf(os.Stderr, f+"\n", args...) }
+	}
+	rep, res, err := fleet.Orchestrate(ocfg)
+	if err != nil {
+		log.Fatalf("fleetsim orchestrate: %v", err)
+	}
+	if !*results {
+		res = nil
+	}
+	writeOutput("", func(w io.Writer) error { return writeReport(w, *format, rep, res) })
+}
+
+// buildConfig assembles the generator config shared by the run and
+// orchestrate entry points, so both validate sweep specs identically.
+func buildConfig(seed uint64, platforms, classes, policy, policies string) (fleet.GeneratorConfig, error) {
+	cfg := fleet.GeneratorConfig{Seed: seed}
+	if platforms != "" {
+		cfg.Platforms = strings.Split(platforms, ",")
+	}
+	if classes != "" {
+		for _, c := range strings.Split(classes, ",") {
+			cfg.Classes = append(cfg.Classes, fleet.Class(c))
+		}
+	}
+	if policy != "" && policies != "" {
+		return cfg, fmt.Errorf("-policy and -policies are mutually exclusive")
+	}
+	if policy != "" {
+		cfg.Policies = []string{policy}
+	}
+	if policies != "" {
+		cfg.Policies = strings.Split(policies, ",")
+	}
+	return cfg, nil
 }
 
 // parseShard parses "i/m" (1-based) into a 0-based index and a count;

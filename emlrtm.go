@@ -390,6 +390,77 @@ func MergeFleetShards(shards ...FleetShardResult) (FleetReport, []FleetResult, e
 	return fleet.Merge(shards...)
 }
 
+// ---- Streaming shard results & orchestration ----
+
+type (
+	// FleetStreamHeader is the first line of a shard result stream: the run
+	// identity (config, fleet size, range) every appended record is
+	// validated against.
+	FleetStreamHeader = fleet.StreamHeader
+	// FleetStreamWriter appends completed results to a shard stream as
+	// NDJSON, one flushed line per record, so a killed process loses at
+	// most a partial trailing line.
+	FleetStreamWriter = fleet.StreamWriter
+	// FleetStreamReader incrementally decodes a shard result stream,
+	// distinguishing clean EOF from a crash-truncated tail.
+	FleetStreamReader = fleet.StreamReader
+	// FleetOrchestratorConfig parametrises OrchestrateFleet.
+	FleetOrchestratorConfig = fleet.OrchestratorConfig
+	// FleetShardSpec is one shard assignment handed to an orchestrator
+	// Start function.
+	FleetShardSpec = fleet.ShardSpec
+	// FleetShardProcess is the orchestrator's handle on a dispatched
+	// shard (Wait/Kill).
+	FleetShardProcess = fleet.ShardProcess
+)
+
+// NewFleetStreamWriter writes the stream header to w and returns a writer
+// expecting records hdr.Lo, hdr.Lo+1, … in scenario order.
+func NewFleetStreamWriter(w io.Writer, hdr FleetStreamHeader) (*FleetStreamWriter, error) {
+	return fleet.NewStreamWriter(w, hdr)
+}
+
+// NewFleetStreamReader validates a stream's header (plain or gzipped,
+// sniffed) and returns a reader for its records.
+func NewFleetStreamReader(r io.Reader) (*FleetStreamReader, error) {
+	return fleet.NewStreamReader(r)
+}
+
+// ReadFleetStream reads a complete shard result stream and converts it to
+// the equivalent FleetShardResult; ReadFleetShard and ReadFleetShardFile
+// perform the same conversion automatically when handed a stream.
+func ReadFleetStream(r io.Reader) (FleetShardResult, error) {
+	return fleet.ReadStream(r)
+}
+
+// ResumeFleetShard runs shard index/count of a fleet, streaming each
+// completed result to the NDJSON file at path. An existing partial stream
+// — say, from a killed process — is validated against cfg, its intact
+// records are kept, any torn trailing line is truncated, and only the
+// missing scenarios run. The returned shard is byte-identical to an
+// uninterrupted RunFleetShard of the same range.
+func ResumeFleetShard(path string, cfg FleetGeneratorConfig, total, index, count, workers int) (FleetShardResult, error) {
+	return fleet.ResumeShard(path, cfg, total, index, count, workers)
+}
+
+// OrchestrateFleet runs a whole fleet as supervised shard processes:
+// dispatching, monitoring stream progress, killing and retrying stalled or
+// crashed shards (each retry resumes from the last flushed scenario), and
+// merging into a report byte-identical to RunFleet of the same config.
+func OrchestrateFleet(cfg FleetOrchestratorConfig) (FleetReport, []FleetResult, error) {
+	return fleet.Orchestrate(cfg)
+}
+
+// FleetCommandStart adapts an argv builder into an orchestrator Start
+// function that exec's each shard as a subprocess.
+func FleetCommandStart(argv func(FleetShardSpec) []string, errw io.Writer) func(FleetShardSpec) (FleetShardProcess, error) {
+	return fleet.CommandStart(argv, errw)
+}
+
+// FleetStreamFileName is the stream file OrchestrateFleet assigns to shard
+// index (0-based) of count inside its Dir.
+func FleetStreamFileName(index, count int) string { return fleet.StreamFileName(index, count) }
+
 // ---- Baselines ----
 
 type (

@@ -1,11 +1,15 @@
-// Sharded fleet evaluation: split one fleet across separate OS processes,
-// as a multi-machine deployment would, then merge the shard files and
-// prove the merged report is byte-identical to a single-process run.
+// Sharded fleet evaluation with a mid-run crash: split one fleet across
+// separate OS processes, SIGKILL one of them partway through, then let the
+// orchestrator resume the killed shard from its last flushed scenario and
+// merge — proving the final report is byte-identical to a single-process
+// run, crash and all.
 //
-// Each shard process is a real `fleetsim -shard i/m` invocation (exec'd
-// via `go run`), owning a contiguous slice of the scenario index range.
-// Per-scenario SplitMix64 seeds make every slice independently
-// reproducible, so the processes share nothing but their command line.
+// Each shard process is a real `fleetsim -shard i/m -resume` invocation
+// streaming results to an NDJSON file, one flushed line per completed
+// scenario. Per-scenario SplitMix64 seeds make every slice independently
+// reproducible, so the processes share nothing but their command line —
+// and a killed process loses at most a partial trailing line, which the
+// resume truncates and re-runs.
 package main
 
 import (
@@ -17,13 +21,13 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
-	"sync"
+	"time"
 
 	emlrtm "github.com/emlrtm/emlrtm"
 )
 
 const (
-	scenarios = 24
+	scenarios = 48
 	seed      = 7
 	shards    = 3
 )
@@ -36,62 +40,73 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	// Run every shard as its own process, concurrently.
-	paths := make([]string, shards)
-	errs := make([]error, shards)
-	var wg sync.WaitGroup
-	for i := 0; i < shards; i++ {
-		paths[i] = filepath.Join(dir, fmt.Sprintf("shard%d.json", i+1))
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			cmd := exec.Command("go", "run", "./cmd/fleetsim",
-				"-scenarios", fmt.Sprint(scenarios),
-				"-seed", fmt.Sprint(seed),
-				"-shard", fmt.Sprintf("%d/%d", i+1, shards),
-				"-out", paths[i])
-			cmd.Dir = root
-			if out, err := cmd.CombinedOutput(); err != nil {
-				errs[i] = fmt.Errorf("shard %d/%d: %v\n%s", i+1, shards, err, out)
-			}
-		}(i)
+	// Build fleetsim once; `go run` would put a compiler between us and the
+	// process we intend to SIGKILL.
+	bin := filepath.Join(dir, "fleetsim")
+	if out, err := command(root, "go", "build", "-o", bin, "./cmd/fleetsim").CombinedOutput(); err != nil {
+		log.Fatalf("building fleetsim: %v\n%s", err, out)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			log.Fatal(err)
+
+	argvFor := func(spec emlrtm.FleetShardSpec) []string {
+		return []string{bin,
+			"-scenarios", fmt.Sprint(scenarios),
+			"-seed", fmt.Sprint(seed),
+			"-shard", fmt.Sprintf("%d/%d", spec.Index+1, spec.Count),
+			"-resume",
+			"-workers", "1",
+			"-out", spec.Path,
 		}
 	}
 
-	// Read the shard files back and merge them.
-	shardResults := make([]emlrtm.FleetShardResult, shards)
-	for i, path := range paths {
-		f, err := os.Open(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		shardResults[i], err = emlrtm.ReadFleetShard(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("shard %d: scenarios [%d,%d) of %d, %d results\n",
-			i+1, shardResults[i].Lo, shardResults[i].Hi,
-			shardResults[i].Total, len(shardResults[i].Results))
+	// Start shard 1 on its own and kill it once a few scenarios have been
+	// flushed: a stand-in for a spot-instance preemption or OOM kill.
+	spec := emlrtm.FleetShardSpec{
+		Index: 0, Count: shards,
+		Path: filepath.Join(dir, emlrtm.FleetStreamFileName(0, shards)),
 	}
-	merged, _, err := emlrtm.MergeFleetShards(shardResults...)
+	victim := argvFor(spec)
+	cmd := command(root, victim[0], victim[1:]...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		log.Fatal(err)
+	}
+	flushed, err := waitForRecords(spec.Path, 3, 30*time.Second)
+	if err != nil {
+		cmd.Process.Kill()
+		log.Fatal(err)
+	}
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+		log.Fatal(err)
+	}
+	cmd.Wait()
+	fmt.Printf("killed shard 1/%d after %d flushed scenarios (stream survives in %s)\n",
+		shards, flushed, filepath.Base(spec.Path))
+
+	// Orchestrate the whole fleet over the same directory: the orchestrator
+	// finds shard 1's partial stream, resumes it from the last flushed
+	// scenario, runs shards 2..m fresh, and merges as they complete.
+	report, _, err := emlrtm.OrchestrateFleet(emlrtm.FleetOrchestratorConfig{
+		Config:    emlrtm.FleetGeneratorConfig{Seed: seed},
+		Workloads: scenarios,
+		Shards:    shards,
+		Dir:       dir,
+		Start:     emlrtm.FleetCommandStart(argvFor, os.Stderr),
+		Logf: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// The whole point: the merged report must be byte-identical to a
-	// single-process run of the same fleet.
+	// The whole point: despite the kill, the orchestrated report must be
+	// byte-identical to a single-process run of the same fleet.
 	single, _, err := emlrtm.RunFleet(
 		emlrtm.FleetGeneratorConfig{Seed: seed}, scenarios, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	mergedJSON, err := json.Marshal(merged)
+	orchJSON, err := json.Marshal(report)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,20 +114,43 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if !bytes.Equal(mergedJSON, singleJSON) {
-		log.Fatalf("merged report differs from single-process run:\n%s\n%s",
-			mergedJSON, singleJSON)
+	if !bytes.Equal(orchJSON, singleJSON) {
+		log.Fatalf("orchestrated report differs from single-process run:\n%s\n%s",
+			orchJSON, singleJSON)
 	}
 
-	fmt.Printf("\nmerged %d shards == single-process run (byte-identical report)\n", shards)
+	fmt.Printf("\norchestrated %d shards (1 killed & resumed) == single-process run (byte-identical report)\n", shards)
 	fmt.Printf("fleet of %d scenarios (seed %d): %d frames, %.1f%% missed, %.1f J, p95 %.1f ms\n",
-		merged.Overall.Scenarios, seed, merged.Overall.Frames,
-		100*merged.Overall.MissRate, merged.Overall.EnergyMJ/1000,
-		1000*merged.Overall.P95LatencyS)
+		report.Overall.Scenarios, seed, report.Overall.Frames,
+		100*report.Overall.MissRate, report.Overall.EnergyMJ/1000,
+		1000*report.Overall.P95LatencyS)
 }
 
-// moduleRoot locates the repo so the shard processes can be exec'd from
-// any working directory.
+// waitForRecords polls an NDJSON stream until it holds at least want
+// record lines (beyond the header), returning how many were flushed.
+func waitForRecords(path string, want int, timeout time.Duration) (int, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		if data, err := os.ReadFile(path); err == nil {
+			if n := bytes.Count(data, []byte("\n")) - 1; n >= want {
+				return n, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("no stream progress in %s after %v", path, timeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func command(dir, name string, args ...string) *exec.Cmd {
+	cmd := exec.Command(name, args...)
+	cmd.Dir = dir
+	return cmd
+}
+
+// moduleRoot locates the repo so fleetsim can be built from any working
+// directory.
 func moduleRoot() string {
 	out, err := exec.Command("go", "env", "GOMOD").Output()
 	if err != nil {

@@ -1,0 +1,46 @@
+// Package atomicfile writes files atomically: content goes to a
+// same-directory temp file that is renamed over the destination only after
+// a successful write, sync and close. Readers therefore never observe a
+// truncated file — a crash mid-write leaves either the old content or an
+// orphaned temp file, never a half-written artifact that would poison a
+// later merge or resume.
+package atomicfile
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile streams emit's output to path atomically with mode 0644. The
+// temp file lives in path's directory so the final rename never crosses a
+// filesystem boundary.
+func WriteFile(path string, emit func(io.Writer) error) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	if err = emit(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Chmod(0o644); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,66 @@
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first" {
+		t.Fatalf("content %q, want %q", got, "first")
+	}
+
+	// A failing emit must leave the previous content untouched and no
+	// temp litter behind.
+	if err := WriteFile(path, func(w io.Writer) error {
+		io.WriteString(w, "half-")
+		return fmt.Errorf("disk on fire")
+	}); err == nil {
+		t.Fatal("failing emit reported success")
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first" {
+		t.Fatalf("failed write clobbered content: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries, want just the output file", len(entries))
+	}
+}
+
+func TestWriteFileMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mode.txt")
+	if err := WriteFile(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "x")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Mode().Perm() != 0o644 {
+		t.Errorf("mode %v, want 0644", fi.Mode().Perm())
+	}
+}

@@ -178,6 +178,19 @@ func TestGeneratorRejectsBadConfig(t *testing.T) {
 	}
 }
 
+// percentile returns the p-quantile (nearest-rank) of the samples. It is
+// test-only scaffolding: the production runner sorts once and reads every
+// order statistic through percentileSorted, and this reference wrapper
+// exists so tests can express expectations over unsorted sample sets.
+func percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
 // TestPercentile pins the nearest-rank convention.
 func TestPercentile(t *testing.T) {
 	samples := []float64{5, 1, 4, 2, 3}

@@ -163,18 +163,6 @@ func runOne(s Scenario, keepLatencies bool) Result {
 	return res
 }
 
-// percentile returns the p-quantile (nearest-rank) of the samples. It
-// copies and sorts per call; callers needing several quantiles should sort
-// once and use percentileSorted for each read.
-func percentile(samples []float64, p float64) float64 {
-	if len(samples) == 0 {
-		return 0
-	}
-	s := append([]float64(nil), samples...)
-	sort.Float64s(s)
-	return percentileSorted(s, p)
-}
-
 // percentileSorted returns the p-quantile (true nearest-rank, rank =
 // ceil(n·p), 1-based, clamped to [1, n]) of samples that are already sorted
 // ascending — percentile without the per-quantile copy and sort, so
@@ -219,6 +207,14 @@ type Runner struct {
 	// p95s. Raw samples dominate result and shard-file size, so
 	// million-scenario fleets run with this set.
 	DropLatencies bool
+	// OnResult, when set, is called exactly once per completed scenario,
+	// in ascending scenario-index order (index is the position in the
+	// slice passed to Run). Workers complete out of order; Run holds
+	// finished results back until every earlier index has been delivered,
+	// so a streaming consumer (the crash-resume stream writer) sees the
+	// same prefix-complete order a sequential run would produce. Calls are
+	// serialized but may arrive from any worker goroutine.
+	OnResult func(index int, r Result)
 }
 
 // Run executes all scenarios and returns results indexed by scenario
@@ -236,11 +232,27 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 	if workers <= 1 {
 		for i, s := range scenarios {
 			results[i] = runOne(s, !r.DropLatencies)
+			if r.OnResult != nil {
+				r.OnResult(i, results[i])
+			}
 			if r.Progress != nil {
 				r.Progress(i+1, len(scenarios))
 			}
 		}
 		return results
+	}
+	// emit tracks in-order delivery for OnResult: ready marks finished
+	// indices, emit is the next index owed to the callback. Whichever
+	// worker completes the missing prefix element drains everything that
+	// became deliverable behind it, under the mutex, so callbacks stay
+	// serialized and ordered.
+	var (
+		emitMu sync.Mutex
+		ready  []bool
+		emit   int
+	)
+	if r.OnResult != nil {
+		ready = make([]bool, len(scenarios))
 	}
 	var next, done atomic.Int64
 	var wg sync.WaitGroup
@@ -254,6 +266,15 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 					return
 				}
 				results[i] = runOne(scenarios[i], !r.DropLatencies)
+				if r.OnResult != nil {
+					emitMu.Lock()
+					ready[i] = true
+					for emit < len(ready) && ready[emit] {
+						r.OnResult(emit, results[emit])
+						emit++
+					}
+					emitMu.Unlock()
+				}
 				if r.Progress != nil {
 					r.Progress(int(done.Add(1)), len(scenarios))
 				}

@@ -10,6 +10,8 @@ import (
 	"reflect"
 	"sort"
 	"strings"
+
+	"github.com/emlrtm/emlrtm/internal/atomicfile"
 )
 
 // ShardFormatVersion is the current shard-file format. ReadShard rejects
@@ -70,12 +72,28 @@ func (s ShardResult) Validate() error {
 		if r.ID != id {
 			return fmt.Errorf("fleet: shard [%d,%d) result %d has ID %d, want %d (results must be in scenario order)", s.Lo, s.Hi, i, r.ID, id)
 		}
-		if want := scenarioSeed(s.Config.Seed, id/len(pols)); r.Seed != want {
-			return fmt.Errorf("fleet: scenario %d seed %d does not derive from master seed %d (want %d); shard was generated under a different seed", id, r.Seed, s.Config.Seed, want)
+		if err := validateResultAt(s.Config.Seed, pols, r, id); err != nil {
+			return err
 		}
-		if want := pols[id%len(pols)]; r.Policy != want {
-			return fmt.Errorf("fleet: scenario %d ran policy %q, want %q under the configured sweep %v; shard was generated under a different policy list", id, r.Policy, want, pols)
-		}
+	}
+	return nil
+}
+
+// validateResultAt checks that one result claims scenario index id of the
+// fleet defined by masterSeed and the resolved policy sweep — the same
+// derivation GenerateRange performs, recomputed on the consumer side. It
+// is shared by shard validation and the stream reader/writer: a result
+// generated under a different seed, policy list or index cannot enter a
+// merge through either path.
+func validateResultAt(masterSeed uint64, pols []string, r Result, id int) error {
+	if r.ID != id {
+		return fmt.Errorf("fleet: result has ID %d, want %d", r.ID, id)
+	}
+	if want := scenarioSeed(masterSeed, id/len(pols)); r.Seed != want {
+		return fmt.Errorf("fleet: scenario %d seed %d does not derive from master seed %d (want %d); shard was generated under a different seed", id, r.Seed, masterSeed, want)
+	}
+	if want := pols[id%len(pols)]; r.Policy != want {
+		return fmt.Errorf("fleet: scenario %d ran policy %q, want %q under the configured sweep %v; shard was generated under a different policy list", id, r.Policy, want, pols)
 	}
 	return nil
 }
@@ -136,24 +154,45 @@ func WriteShard(w io.Writer, s ShardResult) error {
 	return enc.Encode(s)
 }
 
-// ReadShard decodes and validates one shard file, transparently
-// decompressing gzip input (sniffed by magic number, so readers need not
-// know how a shard was written). Validation on read means a merge fails
-// at the offending file with a seed/range/version message, not downstream
-// with a silently wrong report.
-func ReadShard(r io.Reader) (ShardResult, error) {
-	br := bufio.NewReader(r)
-	src := io.Reader(br)
+// sniffGzip wraps br in a gzip reader when the input starts with the gzip
+// magic number, so shard and stream readers accept either form without
+// being told how the file was written. The returned closer is non-nil only
+// for compressed input.
+func sniffGzip(br *bufio.Reader) (io.Reader, io.Closer, error) {
 	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
 		zr, err := gzip.NewReader(br)
 		if err != nil {
-			return ShardResult{}, fmt.Errorf("fleet: decompressing shard: %w", err)
+			return nil, nil, fmt.Errorf("fleet: decompressing shard: %w", err)
 		}
-		defer zr.Close()
-		src = zr
+		return zr, zr, nil
+	}
+	return br, nil, nil
+}
+
+// ReadShard decodes and validates one shard file, transparently
+// decompressing gzip input (sniffed by magic number, so readers need not
+// know how a shard was written) and accepting both encodings: the classic
+// one-document JSON shard and the NDJSON result stream a crash-resumable
+// shard process appends (sniffed by the stream header's leading bytes). A
+// stream is accepted only when complete — every scenario in its range
+// present — so a partial stream can never slip into a merge. Validation on
+// read means a merge fails at the offending file with a
+// seed/range/version message, not downstream with a silently wrong report.
+func ReadShard(r io.Reader) (ShardResult, error) {
+	br := bufio.NewReader(r)
+	src, closer, err := sniffGzip(br)
+	if err != nil {
+		return ShardResult{}, err
+	}
+	if closer != nil {
+		defer closer.Close()
+	}
+	bsrc := bufio.NewReader(src)
+	if p, err := bsrc.Peek(len(streamPrefix)); err == nil && string(p) == streamPrefix {
+		return readStreamShard(bsrc)
 	}
 	var s ShardResult
-	if err := json.NewDecoder(src).Decode(&s); err != nil {
+	if err := json.NewDecoder(bsrc).Decode(&s); err != nil {
 		return ShardResult{}, fmt.Errorf("fleet: decoding shard: %w", err)
 	}
 	if err := s.Validate(); err != nil {
@@ -165,36 +204,37 @@ func ReadShard(r io.Reader) (ShardResult, error) {
 // WriteShardFile writes a shard to path, gzip-compressed when the path
 // ends in ".gz" (raw Latencies samples dominate shard bytes and compress
 // several-fold). ReadShardFile — or any ReadShard — accepts either form.
+// The write is atomic (temp file + rename): a process killed mid-write
+// leaves the previous file or nothing, never a truncated shard that would
+// poison a later merge or resume.
 func WriteShardFile(path string, s ShardResult) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	var werr error
-	if strings.HasSuffix(path, ".gz") {
-		zw := gzip.NewWriter(f)
-		werr = WriteShard(zw, s)
-		if cerr := zw.Close(); werr == nil {
-			werr = cerr
+	return atomicfile.WriteFile(path, func(w io.Writer) error {
+		if strings.HasSuffix(path, ".gz") {
+			zw := gzip.NewWriter(w)
+			if err := WriteShard(zw, s); err != nil {
+				zw.Close()
+				return err
+			}
+			return zw.Close()
 		}
-	} else {
-		werr = WriteShard(f, s)
-	}
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	return werr
+		return WriteShard(w, s)
+	})
 }
 
-// ReadShardFile reads and validates one shard file from disk, plain or
-// gzipped.
+// ReadShardFile reads and validates one shard file from disk — plain or
+// gzipped, classic JSON or a complete NDJSON stream. Errors name the file:
+// a corrupt shard in a hundred-file merge must point at itself.
 func ReadShardFile(path string) (ShardResult, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return ShardResult{}, err
 	}
 	defer f.Close()
-	return ReadShard(f)
+	s, err := ReadShard(f)
+	if err != nil {
+		return ShardResult{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
 }
 
 // Merge combines shard results into the fleet report. It requires full

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -276,6 +278,90 @@ func TestShardValidate(t *testing.T) {
 	}
 	if _, err := ReadShard(strings.NewReader("{not json")); err == nil {
 		t.Error("ReadShard accepted malformed JSON")
+	}
+}
+
+// TestReadShardFileCorrupt: damaged shard files must fail loudly with the
+// file path in the error, never decode to a partial or empty shard.
+func TestReadShardFileCorrupt(t *testing.T) {
+	dir := t.TempDir()
+	shard := fakeShard(GeneratorConfig{Seed: 5}, 8, 0, 4)
+
+	// A gzip shard cut off mid-stream: write a valid file, keep half.
+	truncated := filepath.Join(dir, "truncated.json.gz")
+	if err := WriteShardFile(truncated, shard); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(truncated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(truncated, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadShardFile(truncated); err == nil {
+		t.Error("truncated gzip shard accepted")
+	} else if !strings.Contains(err.Error(), truncated) {
+		t.Errorf("truncated-gzip error %q does not name the file", err)
+	}
+
+	// A stream file whose header is valid but whose body is garbage.
+	garbled := filepath.Join(dir, "garbled.ndjson")
+	var buf bytes.Buffer
+	if _, err := NewStreamWriter(&buf, StreamHeader{Config: GeneratorConfig{Seed: 5}, Total: 8, Lo: 0, Hi: 4}); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("this is not a result record\n")
+	if err := os.WriteFile(garbled, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadShardFile(garbled); err == nil {
+		t.Error("stream with garbage body accepted")
+	} else if !strings.Contains(err.Error(), garbled) {
+		t.Errorf("garbled-stream error %q does not name the file", err)
+	}
+
+	// A missing file: the error must carry the path too.
+	missing := filepath.Join(dir, "no-such-shard.json")
+	if _, err := ReadShardFile(missing); err == nil {
+		t.Error("missing shard file accepted")
+	} else if !strings.Contains(err.Error(), missing) {
+		t.Errorf("missing-file error %q does not name the file", err)
+	}
+}
+
+// TestWriteShardFileAtomic: a failed write must leave any existing file
+// untouched and no temp litter behind.
+func TestWriteShardFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shard.json")
+	good := fakeShard(GeneratorConfig{Seed: 5}, 8, 0, 4)
+	if err := WriteShardFile(path, good); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := fakeShard(GeneratorConfig{Seed: 5}, 8, 0, 4)
+	bad.Hi = 99 // fails Validate inside WriteShard
+	if err := WriteShardFile(path, bad); err == nil {
+		t.Fatal("invalid shard written")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("failed write clobbered the existing shard file")
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("failed write left %d entries in the directory, want just the original", len(entries))
 	}
 }
 

@@ -1,0 +1,469 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"reflect"
+)
+
+// A shard result stream is the crash-resumable encoding of a ShardResult:
+// one NDJSON header line followed by one line per completed scenario, in
+// ascending scenario-index order, each flushed as it completes. A process
+// killed at any point leaves a prefix of the stream on disk; ResumeShard
+// replays that prefix and re-runs only the missing range. A complete
+// stream converts losslessly into a ShardResult (ReadShard sniffs and
+// accepts it), so Merge and the golden report are untouched by how a shard
+// was produced — batch, streamed, crashed-and-resumed, or retried.
+
+// streamMagic identifies a shard result stream. It is the value of the
+// header's first JSON key, so the opening bytes of a stream file are
+// constant and a reader can distinguish a stream from a classic shard
+// document by peeking.
+const streamMagic = "emlrtm-fleet-shard"
+
+// streamPrefix is the byte prefix every stream file starts with:
+// json.Marshal emits struct fields in declaration order and Stream is
+// StreamHeader's first field.
+const streamPrefix = `{"stream":"` + streamMagic + `"`
+
+// StreamHeader is the first line of a shard result stream: everything a
+// resuming or merging process needs to prove the records that follow
+// belong to the run it was asked for. It mirrors the ShardResult header,
+// plus the latency-dropping mode, which changes record bytes and so must
+// match between the crashed and the resuming run.
+type StreamHeader struct {
+	Stream        string          `json:"stream"`
+	FormatVersion int             `json:"formatVersion"`
+	Config        GeneratorConfig `json:"config"`
+	Total         int             `json:"total"`
+	Lo            int             `json:"lo"`
+	Hi            int             `json:"hi"` // exclusive
+	NoLatencies   bool            `json:"noLatencies,omitempty"`
+}
+
+// validate checks internal consistency, mirroring ShardResult.Validate's
+// header checks.
+func (h StreamHeader) validate() error {
+	if h.Stream != streamMagic {
+		return fmt.Errorf("fleet: stream marker %q, want %q", h.Stream, streamMagic)
+	}
+	if h.FormatVersion != ShardFormatVersion {
+		return fmt.Errorf("fleet: stream format version %d, want %d", h.FormatVersion, ShardFormatVersion)
+	}
+	if h.Total <= 0 {
+		return fmt.Errorf("fleet: stream total %d must be positive", h.Total)
+	}
+	if h.Lo < 0 || h.Hi < h.Lo || h.Hi > h.Total {
+		return fmt.Errorf("fleet: stream range [%d,%d) outside fleet [0,%d)", h.Lo, h.Hi, h.Total)
+	}
+	if _, err := resolvePolicies(h.Config.Policies); err != nil {
+		return err
+	}
+	return nil
+}
+
+// matches reports whether two headers describe the same shard of the same
+// run, using the same normalized-config comparison Merge applies across
+// shards. It is the resume gate: a stream written under a different seed,
+// config, range or latency mode must not be extended.
+func (h StreamHeader) matches(want StreamHeader) error {
+	switch {
+	case h.FormatVersion != want.FormatVersion:
+		return fmt.Errorf("fleet: stream format version %d, want %d", h.FormatVersion, want.FormatVersion)
+	case h.Config.Seed != want.Config.Seed:
+		return fmt.Errorf("fleet: stream seed mismatch: file has %d, run wants %d", h.Config.Seed, want.Config.Seed)
+	case h.Total != want.Total || h.Lo != want.Lo || h.Hi != want.Hi:
+		return fmt.Errorf("fleet: stream range mismatch: file covers [%d,%d) of %d, run wants [%d,%d) of %d",
+			h.Lo, h.Hi, h.Total, want.Lo, want.Hi, want.Total)
+	case h.NoLatencies != want.NoLatencies:
+		return fmt.Errorf("fleet: stream latency mode mismatch: file noLatencies=%v, run wants %v (resume with the same -nolat setting)", h.NoLatencies, want.NoLatencies)
+	case !reflect.DeepEqual(h.Config.normalized(), want.Config.normalized()):
+		return fmt.Errorf("fleet: stream config mismatch: file was written with %+v, run wants %+v", h.Config, want.Config)
+	}
+	return nil
+}
+
+// StreamWriter appends completed results to a shard stream as NDJSON, one
+// flushed line per record, in scenario-index order. It validates every
+// record against the header the way shard readers do, so a stream can only
+// ever contain records of the run its header declares.
+type StreamWriter struct {
+	w    *bufio.Writer
+	hdr  StreamHeader
+	pols []string
+	next int
+	err  error // sticky: after a write error the stream is poisoned
+}
+
+// NewStreamWriter writes the header line to w and returns a writer
+// expecting records hdr.Lo, hdr.Lo+1, … in order. The Stream marker and
+// FormatVersion fields are filled in; the caller provides the run
+// identity (Config, Total, Lo, Hi, NoLatencies).
+func NewStreamWriter(w io.Writer, hdr StreamHeader) (*StreamWriter, error) {
+	hdr.Stream = streamMagic
+	hdr.FormatVersion = ShardFormatVersion
+	if err := hdr.validate(); err != nil {
+		return nil, err
+	}
+	sw := newStreamWriterAt(w, hdr, hdr.Lo)
+	line, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sw.w.Write(append(line, '\n')); err != nil {
+		return nil, err
+	}
+	if err := sw.w.Flush(); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// newStreamWriterAt builds a writer for a stream whose header (and next-lo
+// records) are already on disk — the resume path. hdr must already be
+// validated.
+func newStreamWriterAt(w io.Writer, hdr StreamHeader, next int) *StreamWriter {
+	pols, _ := resolvePolicies(hdr.Config.Policies) // validated with hdr
+	return &StreamWriter{w: bufio.NewWriter(w), hdr: hdr, pols: pols, next: next}
+}
+
+// Append writes one completed result and flushes it to the underlying
+// writer, so the record survives the process being killed immediately
+// after. Records must arrive in scenario-index order (Runner.OnResult
+// delivers exactly that) and must belong to the header's run.
+func (sw *StreamWriter) Append(r Result) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.next >= sw.hdr.Hi {
+		return fmt.Errorf("fleet: stream [%d,%d) is complete; cannot append scenario %d", sw.hdr.Lo, sw.hdr.Hi, r.ID)
+	}
+	if r.ID != sw.next {
+		return fmt.Errorf("fleet: stream expects scenario %d next, got %d (records must be appended in scenario order)", sw.next, r.ID)
+	}
+	if err := validateResultAt(sw.hdr.Config.Seed, sw.pols, r, sw.next); err != nil {
+		return err
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	if _, err := sw.w.Write(append(line, '\n')); err != nil {
+		sw.err = err
+		return err
+	}
+	if err := sw.w.Flush(); err != nil {
+		sw.err = err
+		return err
+	}
+	sw.next++
+	return nil
+}
+
+// Next returns the scenario index the writer expects to append next.
+func (sw *StreamWriter) Next() int { return sw.next }
+
+// Complete reports whether every record in the header's range has been
+// appended.
+func (sw *StreamWriter) Complete() bool { return sw.next == sw.hdr.Hi }
+
+// StreamReader reads a shard result stream record by record, validating
+// each against the header exactly as ShardResult.Validate would.
+type StreamReader struct {
+	br   *bufio.Reader
+	hdr  StreamHeader
+	pols []string
+	next int
+}
+
+// NewStreamReader reads and validates the header line, transparently
+// decompressing gzip input (a finished stream may be archived compressed;
+// sniffed by magic number like ReadShard).
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	br := bufio.NewReader(r)
+	src, _, err := sniffGzip(br)
+	if err != nil {
+		return nil, err
+	}
+	return newStreamReader(bufio.NewReader(src))
+}
+
+// newStreamReader is NewStreamReader past the gzip sniff; ReadShard calls
+// it directly after its own sniffing.
+func newStreamReader(br *bufio.Reader) (*StreamReader, error) {
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("fleet: reading stream header: %w", err)
+	}
+	var hdr StreamHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return nil, fmt.Errorf("fleet: decoding stream header: %w", err)
+	}
+	if err := hdr.validate(); err != nil {
+		return nil, err
+	}
+	pols, _ := resolvePolicies(hdr.Config.Policies) // validated with hdr
+	return &StreamReader{br: br, hdr: hdr, pols: pols, next: hdr.Lo}, nil
+}
+
+// Header returns the validated stream header.
+func (sr *StreamReader) Header() StreamHeader { return sr.hdr }
+
+// Read returns the next record. It fails loud on a record that does not
+// belong to the header's run, on trailing records beyond the range, and on
+// a truncated final line (io.ErrUnexpectedEOF — the crash point of a
+// killed writer). io.EOF means the stream ended cleanly at a record
+// boundary; the caller decides whether the prefix read so far is complete.
+func (sr *StreamReader) Read() (Result, error) {
+	line, err := sr.br.ReadBytes('\n')
+	if errors.Is(err, io.EOF) {
+		if len(line) == 0 {
+			return Result{}, io.EOF
+		}
+		return Result{}, fmt.Errorf("fleet: stream record %d truncated mid-line: %w", sr.next, io.ErrUnexpectedEOF)
+	}
+	if err != nil {
+		return Result{}, fmt.Errorf("fleet: reading stream record %d: %w", sr.next, err)
+	}
+	if sr.next >= sr.hdr.Hi {
+		return Result{}, fmt.Errorf("fleet: stream [%d,%d) carries records beyond its range", sr.hdr.Lo, sr.hdr.Hi)
+	}
+	var r Result
+	if err := json.Unmarshal(line, &r); err != nil {
+		return Result{}, fmt.Errorf("fleet: decoding stream record %d: %w", sr.next, err)
+	}
+	if err := validateResultAt(sr.hdr.Config.Seed, sr.pols, r, sr.next); err != nil {
+		return Result{}, err
+	}
+	sr.next++
+	return r, nil
+}
+
+// ReadStream reads a complete stream and converts it into the equivalent
+// ShardResult. An incomplete stream — fewer records than the header's
+// range — is an error; resume it with ResumeShard instead.
+func ReadStream(r io.Reader) (ShardResult, error) {
+	sr, err := NewStreamReader(r)
+	if err != nil {
+		return ShardResult{}, err
+	}
+	return sr.readAll()
+}
+
+// readStreamShard is ReadStream past the gzip sniff, for ReadShard.
+func readStreamShard(br *bufio.Reader) (ShardResult, error) {
+	sr, err := newStreamReader(br)
+	if err != nil {
+		return ShardResult{}, err
+	}
+	return sr.readAll()
+}
+
+func (sr *StreamReader) readAll() (ShardResult, error) {
+	results := make([]Result, 0, sr.hdr.Hi-sr.hdr.Lo)
+	for {
+		r, err := sr.Read()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return ShardResult{}, err
+		}
+		results = append(results, r)
+	}
+	if len(results) != sr.hdr.Hi-sr.hdr.Lo {
+		return ShardResult{}, fmt.Errorf("fleet: stream incomplete: has %d of %d results (scenarios [%d,%d) of [%d,%d) missing); resume it with ResumeShard or fleetsim -resume",
+			len(results), sr.hdr.Hi-sr.hdr.Lo, sr.hdr.Lo+len(results), sr.hdr.Hi, sr.hdr.Lo, sr.hdr.Hi)
+	}
+	s := ShardResult{
+		FormatVersion: sr.hdr.FormatVersion,
+		Config:        sr.hdr.Config,
+		Total:         sr.hdr.Total,
+		Lo:            sr.hdr.Lo,
+		Hi:            sr.hdr.Hi,
+		Results:       results,
+	}
+	if err := s.Validate(); err != nil {
+		return ShardResult{}, err
+	}
+	return s, nil
+}
+
+// ResumeShard runs shard index (0-based) of count over a total-workload
+// fleet, streaming each completed result to path, resuming from whatever a
+// previous (possibly killed) process already flushed there. See
+// Runner.ResumeShard.
+func ResumeShard(path string, cfg GeneratorConfig, total, index, count, workers int) (ShardResult, error) {
+	return (&Runner{Workers: workers}).ResumeShard(path, cfg, total, index, count)
+}
+
+// ResumeShard is the crash-resumable counterpart of RunShard: results
+// stream to path as NDJSON, flushed per scenario, so a process killed at
+// scenario k of its range restarts from k+1 — not from scratch. A missing
+// or empty path starts a fresh stream; an existing one must carry a header
+// matching the requested run (same seed, config, range, format version and
+// latency mode) and is replayed, validated record by record, before the
+// missing suffix is generated and run. A truncated final line — the usual
+// kill-mid-write artifact — is discarded and rewritten. The returned ShardResult
+// is identical to what RunShard would have produced in one uninterrupted
+// process, which is what keeps the merged report byte-identical no matter
+// how many times a shard crashed on the way.
+func (r *Runner) ResumeShard(path string, cfg GeneratorConfig, total, index, count int) (ShardResult, error) {
+	if total <= 0 {
+		return ShardResult{}, fmt.Errorf("fleet: scenario count %d must be positive", total)
+	}
+	if count < 1 || index < 0 || index >= count {
+		return ShardResult{}, fmt.Errorf("fleet: shard index %d of %d out of range", index, count)
+	}
+	gen, err := NewGenerator(cfg)
+	if err != nil {
+		return ShardResult{}, err
+	}
+	runs := gen.RunCount(total)
+	lo, hi := ShardRange(runs, index, count)
+	want := StreamHeader{
+		Stream:        streamMagic,
+		FormatVersion: ShardFormatVersion,
+		Config:        cfg,
+		Total:         runs,
+		Lo:            lo,
+		Hi:            hi,
+		NoLatencies:   r.DropLatencies,
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return ShardResult{}, err
+	}
+	defer f.Close()
+
+	replayed, offset, err := replayStream(f, want)
+	if err != nil {
+		return ShardResult{}, fmt.Errorf("%s: %w", path, err)
+	}
+	next := lo + len(replayed)
+
+	// Drop any truncated final line and position the writer at the end of
+	// the last intact record (or at 0 for a fresh/garbled-header file).
+	if err := f.Truncate(offset); err != nil {
+		return ShardResult{}, err
+	}
+	if _, err := f.Seek(offset, io.SeekStart); err != nil {
+		return ShardResult{}, err
+	}
+	var sw *StreamWriter
+	if offset == 0 {
+		if sw, err = NewStreamWriter(f, want); err != nil {
+			return ShardResult{}, err
+		}
+	} else {
+		sw = newStreamWriterAt(f, want, next)
+	}
+
+	results := replayed
+	if next < hi {
+		// Copy the runner so the stream hook does not clobber a caller's
+		// own callback wiring; OnResult delivery is already serialized and
+		// index-ordered, which is exactly the order the stream needs.
+		rr := *r
+		var streamErr error
+		rr.OnResult = func(_ int, res Result) {
+			if streamErr == nil {
+				streamErr = sw.Append(res)
+			}
+		}
+		fresh := rr.Run(gen.GenerateRange(next, hi))
+		if streamErr != nil {
+			return ShardResult{}, fmt.Errorf("%s: %w", path, streamErr)
+		}
+		results = append(results, fresh...)
+	}
+	if err := f.Sync(); err != nil {
+		return ShardResult{}, err
+	}
+
+	s := ShardResult{
+		FormatVersion: ShardFormatVersion,
+		Config:        cfg,
+		Total:         runs,
+		Lo:            lo,
+		Hi:            hi,
+		Results:       results,
+	}
+	if err := s.Validate(); err != nil {
+		return ShardResult{}, fmt.Errorf("%s: resumed shard failed validation: %w", path, err)
+	}
+	return s, nil
+}
+
+// replayStream reads an existing stream file from the start, returning the
+// intact completed results and the byte offset just past the last intact
+// line. A missing trailing newline or an unparsable final record marks the
+// crash point: replay stops there and the caller truncates. An empty file
+// — or one whose header line itself was torn mid-write — replays to
+// nothing (offset 0, full restart). A header that parses but does not
+// match the requested run is a hard error: the caller pointed resume at
+// the wrong file, and extending it would corrupt someone else's shard.
+func replayStream(f *os.File, want StreamHeader) ([]Result, int64, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	if fi.Size() == 0 {
+		return nil, 0, nil
+	}
+	br := bufio.NewReader(f)
+	line, err := br.ReadBytes('\n')
+	if errors.Is(err, io.EOF) {
+		// Torn header write: nothing trustworthy in the file.
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	var hdr StreamHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return nil, 0, fmt.Errorf("fleet: existing file is not a shard result stream (header: %v); refusing to overwrite it", err)
+	}
+	if err := hdr.validate(); err != nil {
+		return nil, 0, err
+	}
+	if err := hdr.matches(want); err != nil {
+		return nil, 0, err
+	}
+	pols, _ := resolvePolicies(want.Config.Policies) // validated via NewGenerator
+	offset := int64(len(line))
+	var results []Result
+	next := want.Lo
+	for {
+		line, err := br.ReadBytes('\n')
+		if errors.Is(err, io.EOF) {
+			// A partial trailing line (len > 0) is the crash point; either
+			// way replay is done.
+			return results, offset, nil
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		var r Result
+		if err := json.Unmarshal(line, &r); err != nil {
+			// A garbled line mid-file: everything from here on is
+			// untrustworthy. Truncate and re-run from this scenario — the
+			// re-run reproduces the discarded records bit-identically.
+			return results, offset, nil
+		}
+		if next >= want.Hi {
+			return nil, 0, fmt.Errorf("fleet: stream [%d,%d) carries records beyond its range", want.Lo, want.Hi)
+		}
+		if err := validateResultAt(want.Config.Seed, pols, r, next); err != nil {
+			return nil, 0, err
+		}
+		results = append(results, r)
+		next++
+		offset += int64(len(line))
+	}
+}
