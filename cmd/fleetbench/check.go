@@ -1,0 +1,148 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// thresholds parametrise one regression check of current numbers against
+// the recorded baseline.
+type thresholds struct {
+	// AllocSlack is the absolute allocs/op increase tolerated per
+	// micro-benchmark before the check fails. Allocation counts are
+	// deterministic for a fixed toolchain, so the default of 0 is not
+	// flaky: any increase is a real regression.
+	AllocSlack int64
+	// MinThroughputRatio is the floor on current/baseline scenarios-per-sec
+	// (e.g. 0.5 fails the check when throughput halves). 0 disables the
+	// throughput check entirely. Wall-clock throughput is machine- and
+	// load-dependent, so this threshold should stay loose where allocs stay
+	// strict.
+	MinThroughputRatio float64
+	// AllowEnvMismatch downgrades a goVersion/gomaxprocs mismatch between
+	// baseline and current from a refusal to a loud annotation: the
+	// throughput comparison is skipped (wall-clock numbers from different
+	// environments are not comparable) but allocs/op — which depend only on
+	// the code and toolchain behaviour, not the machine — are still checked.
+	AllowEnvMismatch bool
+}
+
+// checkResult is the outcome of one checkRegression call.
+type checkResult struct {
+	// Refused is set when the environments differ and AllowEnvMismatch is
+	// off: no comparison was attempted and the caller must exit non-zero.
+	Refused bool
+	// Mismatches lists every environment difference found (goVersion,
+	// gomaxprocs), whether or not it caused a refusal.
+	Mismatches []string
+	// Violations lists every threshold breach. Empty + !Refused means pass.
+	Violations []string
+	// Notes lists loud annotations: skipped checks and their reasons.
+	Notes []string
+}
+
+func (r checkResult) ok() bool { return !r.Refused && len(r.Violations) == 0 }
+
+// render formats the result as the human-readable report that goes to
+// stderr and the CI artifact.
+func (r checkResult) render() string {
+	var b strings.Builder
+	for _, m := range r.Mismatches {
+		fmt.Fprintf(&b, "env-mismatch: %s\n", m)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "REGRESSION: %s\n", v)
+	}
+	switch {
+	case r.Refused:
+		b.WriteString("check REFUSED: baseline and current were measured in different environments; re-record the baseline there, or pass -allow-env-mismatch to compare allocs only\n")
+	case len(r.Violations) > 0:
+		fmt.Fprintf(&b, "check FAILED: %d regression(s) against recorded baseline\n", len(r.Violations))
+	default:
+		b.WriteString("check OK: no regressions against recorded baseline\n")
+	}
+	return b.String()
+}
+
+// checkRegression compares current numbers against the recorded baseline
+// under the given thresholds. It is a pure function so the deliberate-
+// regression tests can drive it directly.
+//
+// Policy: allocs/op is checked strictly and always — it is deterministic
+// for a fixed toolchain, so even a cross-machine comparison is meaningful.
+// Throughput (scenarios/sec) is wall-clock and only comparable when the
+// environment matches: a goVersion or gomaxprocs difference refuses the
+// whole comparison unless AllowEnvMismatch, which downgrades to an
+// annotated allocs-only check. A workers mismatch between the two fleet
+// sweeps likewise skips only the throughput comparison.
+func checkRegression(base *Numbers, cur Numbers, th thresholds) checkResult {
+	var r checkResult
+	if base == nil {
+		r.Refused = true
+		r.Notes = append(r.Notes, "no recorded baseline in the bench file; run fleetbench -rebaseline to record one")
+		return r
+	}
+	if base.GoVersion != cur.GoVersion {
+		r.Mismatches = append(r.Mismatches,
+			fmt.Sprintf("goVersion: baseline %q vs current %q", base.GoVersion, cur.GoVersion))
+	}
+	if base.GOMAXPROCS != cur.GOMAXPROCS {
+		r.Mismatches = append(r.Mismatches,
+			fmt.Sprintf("gomaxprocs: baseline %d vs current %d", base.GOMAXPROCS, cur.GOMAXPROCS))
+	}
+	if len(r.Mismatches) > 0 && !th.AllowEnvMismatch {
+		r.Refused = true
+		return r
+	}
+
+	// Allocs: every benchmark the baseline recorded must still exist and
+	// must not allocate more than baseline + slack. A benchmark that
+	// disappeared is a violation, not a skip — silently dropping the
+	// measurement is how a regression hides.
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			r.Violations = append(r.Violations,
+				fmt.Sprintf("%s: in baseline (%d allocs/op) but missing from current run", name, b.AllocsPerOp))
+			continue
+		}
+		if limit := b.AllocsPerOp + th.AllocSlack; c.AllocsPerOp > limit {
+			r.Violations = append(r.Violations,
+				fmt.Sprintf("%s: %d allocs/op exceeds baseline %d + slack %d",
+					name, c.AllocsPerOp, b.AllocsPerOp, th.AllocSlack))
+		}
+	}
+
+	// Throughput: only when the environments and sweep shapes match.
+	switch {
+	case th.MinThroughputRatio <= 0:
+		r.Notes = append(r.Notes, "throughput check disabled (-min-throughput-ratio 0)")
+	case len(r.Mismatches) > 0:
+		r.Notes = append(r.Notes, "throughput check skipped: environment mismatch (allocs still checked)")
+	case base.Fleet.Workers != cur.Fleet.Workers:
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"throughput check skipped: baseline swept with %d workers, current with %d",
+			base.Fleet.Workers, cur.Fleet.Workers))
+	case base.Fleet.ScenariosPerSec <= 0:
+		r.Notes = append(r.Notes, "throughput check skipped: baseline has no scenarios/sec")
+	default:
+		floor := base.Fleet.ScenariosPerSec * th.MinThroughputRatio
+		if cur.Fleet.ScenariosPerSec < floor {
+			r.Violations = append(r.Violations, fmt.Sprintf(
+				"fleet throughput %.1f scenarios/sec below %.0f%% of baseline %.1f (floor %.1f)",
+				cur.Fleet.ScenariosPerSec, th.MinThroughputRatio*100,
+				base.Fleet.ScenariosPerSec, floor))
+		}
+	}
+	return r
+}

@@ -1,0 +1,158 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// checkFixture is a matched baseline/current pair with no regressions;
+// tests mutate the current side to inject specific defects.
+func checkFixture() (*Numbers, Numbers) {
+	base := &Numbers{
+		GoVersion:  "go1.24.0",
+		GOMAXPROCS: 8,
+		Fleet:      FleetNumbers{Workers: 8, ScenariosPerSec: 1000},
+		Benchmarks: map[string]BenchNumbers{
+			"engine-run": {NsPerOp: 900e3, BytesPerOp: 0, AllocsPerOp: 0},
+			"replan":     {NsPerOp: 10e3, BytesPerOp: 256, AllocsPerOp: 3},
+		},
+	}
+	cur := Numbers{
+		GoVersion:  "go1.24.0",
+		GOMAXPROCS: 8,
+		Fleet:      FleetNumbers{Workers: 8, ScenariosPerSec: 980},
+		Benchmarks: map[string]BenchNumbers{
+			"engine-run": {NsPerOp: 910e3, BytesPerOp: 0, AllocsPerOp: 0},
+			"replan":     {NsPerOp: 11e3, BytesPerOp: 256, AllocsPerOp: 3},
+		},
+	}
+	return base, cur
+}
+
+func defaultThresholds() thresholds {
+	return thresholds{AllocSlack: 0, MinThroughputRatio: 0.5}
+}
+
+func TestCheckRegressionPasses(t *testing.T) {
+	base, cur := checkFixture()
+	r := checkRegression(base, cur, defaultThresholds())
+	if !r.ok() {
+		t.Fatalf("clean comparison failed: %+v", r)
+	}
+	if !strings.Contains(r.render(), "check OK") {
+		t.Errorf("report does not say OK:\n%s", r.render())
+	}
+}
+
+// TestCheckRegressionCatchesAllocRegression is the ISSUE's deliberate-
+// regression demonstration: one extra alloc/op over baseline must fail
+// the gate at the default zero slack.
+func TestCheckRegressionCatchesAllocRegression(t *testing.T) {
+	base, cur := checkFixture()
+	cur.Benchmarks["replan"] = BenchNumbers{NsPerOp: 11e3, BytesPerOp: 300, AllocsPerOp: 4}
+	r := checkRegression(base, cur, defaultThresholds())
+	if r.ok() {
+		t.Fatal("alloc regression passed the gate")
+	}
+	if len(r.Violations) != 1 || !strings.Contains(r.Violations[0], "replan") {
+		t.Fatalf("violations = %v, want one naming replan", r.Violations)
+	}
+
+	// The same regression inside the configured slack passes.
+	r = checkRegression(base, cur, thresholds{AllocSlack: 1, MinThroughputRatio: 0.5})
+	if !r.ok() {
+		t.Fatalf("regression within slack still failed: %+v", r)
+	}
+}
+
+func TestCheckRegressionCatchesMissingBenchmark(t *testing.T) {
+	base, cur := checkFixture()
+	delete(cur.Benchmarks, "engine-run")
+	r := checkRegression(base, cur, defaultThresholds())
+	if r.ok() {
+		t.Fatal("missing benchmark passed the gate")
+	}
+	if len(r.Violations) != 1 || !strings.Contains(r.Violations[0], "missing") {
+		t.Fatalf("violations = %v, want one about the missing benchmark", r.Violations)
+	}
+}
+
+func TestCheckRegressionCatchesThroughputDrop(t *testing.T) {
+	base, cur := checkFixture()
+	cur.Fleet.ScenariosPerSec = 400 // below the 0.5 floor of 1000
+	r := checkRegression(base, cur, defaultThresholds())
+	if r.ok() {
+		t.Fatal("halved throughput passed the gate")
+	}
+	if len(r.Violations) != 1 || !strings.Contains(r.Violations[0], "throughput") {
+		t.Fatalf("violations = %v, want one throughput violation", r.Violations)
+	}
+
+	// Ratio 0 disables the throughput check.
+	r = checkRegression(base, cur, thresholds{MinThroughputRatio: 0})
+	if !r.ok() {
+		t.Fatalf("disabled throughput check still failed: %+v", r)
+	}
+}
+
+// TestCheckRegressionEnvMismatch pins the satellite contract: a
+// goVersion or gomaxprocs difference refuses the comparison outright by
+// default, and with the override becomes a loud annotation plus an
+// allocs-only check.
+func TestCheckRegressionEnvMismatch(t *testing.T) {
+	base, cur := checkFixture()
+	cur.GoVersion = "go1.25.0"
+	cur.GOMAXPROCS = 4
+
+	r := checkRegression(base, cur, defaultThresholds())
+	if !r.Refused {
+		t.Fatal("env mismatch did not refuse the comparison")
+	}
+	if len(r.Mismatches) != 2 {
+		t.Fatalf("mismatches = %v, want goVersion and gomaxprocs", r.Mismatches)
+	}
+	if !strings.Contains(r.render(), "REFUSED") {
+		t.Errorf("report does not announce the refusal:\n%s", r.render())
+	}
+
+	// Override: allocs are still checked, throughput is skipped loudly.
+	cur.Benchmarks["engine-run"] = BenchNumbers{AllocsPerOp: 5}
+	cur.Fleet.ScenariosPerSec = 1 // would fail throughput if it were checked
+	th := defaultThresholds()
+	th.AllowEnvMismatch = true
+	r = checkRegression(base, cur, th)
+	if r.Refused {
+		t.Fatal("override still refused")
+	}
+	if len(r.Violations) != 1 || !strings.Contains(r.Violations[0], "engine-run") {
+		t.Fatalf("violations = %v, want only the engine-run alloc regression", r.Violations)
+	}
+	report := r.render()
+	if !strings.Contains(report, "env-mismatch") || !strings.Contains(report, "throughput check skipped") {
+		t.Errorf("override report is not loud about the mismatch:\n%s", report)
+	}
+}
+
+func TestCheckRegressionWorkerMismatchSkipsThroughput(t *testing.T) {
+	base, cur := checkFixture()
+	cur.Fleet.Workers = 2
+	cur.Fleet.ScenariosPerSec = 100 // incomparable, must not be judged
+	r := checkRegression(base, cur, defaultThresholds())
+	if !r.ok() {
+		t.Fatalf("worker-count mismatch failed the gate: %+v", r)
+	}
+	if !strings.Contains(r.render(), "throughput check skipped") {
+		t.Errorf("report does not note the skipped throughput check:\n%s", r.render())
+	}
+}
+
+func TestCheckRegressionNoBaseline(t *testing.T) {
+	_, cur := checkFixture()
+	r := checkRegression(nil, cur, defaultThresholds())
+	if r.ok() {
+		t.Fatal("check without a baseline passed")
+	}
+	if !strings.Contains(r.render(), "rebaseline") {
+		t.Errorf("report does not point at -rebaseline:\n%s", r.render())
+	}
+}

@@ -23,10 +23,22 @@
 //	go test -run '^$' -bench 'PolicyPlan|Replan' -benchmem -count 10 ./internal/rtm > new.txt
 //	benchstat old.txt new.txt
 //
+// With -check, fleetbench becomes the perf regression gate: after
+// measuring, current is compared against the recorded baseline and the
+// process exits non-zero on regression. Allocs/op are checked strictly
+// (deterministic for a fixed toolchain; default slack 0), throughput
+// loosely (-min-throughput-ratio, default 0.5 — wall-clock is noisy).
+// A goVersion or gomaxprocs mismatch between baseline and current refuses
+// the comparison outright; -allow-env-mismatch downgrades that to a loud
+// annotation and an allocs-only check. Record a new baseline with
+// -rebaseline (mutually exclusive with -check).
+//
 // Usage:
 //
 //	fleetbench [-scenarios 64] [-seed 1] [-workers 0] [-policies a,b,c]
-//	           [-quick] [-out BENCH_fleet.json]
+//	           [-quick] [-benchtime 100ms] [-out BENCH_fleet.json]
+//	           [-check] [-alloc-slack 0] [-min-throughput-ratio 0.5]
+//	           [-allow-env-mismatch] [-checkout check.txt] [-rebaseline]
 package main
 
 import (
@@ -90,6 +102,10 @@ type Doc struct {
 }
 
 func main() {
+	// testing.Init registers the test.* flags (test.benchtime in
+	// particular) before our own, so -benchtime can forward to the
+	// testing.Benchmark machinery below.
+	testing.Init()
 	scenarios := flag.Int("scenarios", 64, "workloads in the timed fleet sweep (total runs = scenarios × policies)")
 	seed := flag.Uint64("seed", 1, "master fleet seed")
 	workers := flag.Int("workers", 0, "fleet worker pool size (0 = NumCPU)")
@@ -97,10 +113,28 @@ func main() {
 	quick := flag.Bool("quick", false, "CI smoke mode: a small sweep (8 scenarios)")
 	out := flag.String("out", "BENCH_fleet.json", "output file; an existing file's baseline object is preserved (\"-\" = stdout)")
 	note := flag.String("note", "", "free-form annotation stored with the measurement")
+	benchtime := flag.String("benchtime", "", "micro-benchmark duration per benchmark (e.g. 100ms, 50x); default is Go's 1s")
+	check := flag.Bool("check", false, "after measuring, compare current against the recorded baseline and exit non-zero on regression")
+	allocSlack := flag.Int64("alloc-slack", 0, "with -check: absolute allocs/op increase tolerated per benchmark (allocs are deterministic, so 0 is not flaky)")
+	minThroughputRatio := flag.Float64("min-throughput-ratio", 0.5, "with -check: fail when fleet scenarios/sec drops below this fraction of baseline (0 disables)")
+	allowEnvMismatch := flag.Bool("allow-env-mismatch", false, "with -check: on goVersion/gomaxprocs mismatch, annotate loudly and compare allocs only instead of refusing")
+	rebaseline := flag.Bool("rebaseline", false, "record this run's numbers as the new baseline (replacing any recorded one)")
+	checkout := flag.String("checkout", "", "with -check: also write the check report to this file (for CI artifacts)")
 	flag.Parse()
 
 	if *quick {
 		*scenarios = 8
+	}
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			log.Fatalf("fleetbench: bad -benchtime: %v", err)
+		}
+	}
+	if *check && *rebaseline {
+		// Checking against a baseline this same run replaces is a
+		// self-comparison; it can only pass and would launder regressions
+		// into the new baseline.
+		log.Fatalf("fleetbench: -check and -rebaseline are mutually exclusive")
 	}
 	pols := strings.Split(*policies, ",")
 	for _, p := range pols {
@@ -139,11 +173,15 @@ func main() {
 
 	// ---- Hot-layer micro-benchmarks ----
 	cur.Benchmarks["engine-run"] = record("engine-run", benchEngineRun)
+	cur.Benchmarks["engine-new"] = record("engine-new", benchEngineNew)
 	cur.Benchmarks["replan"] = record("replan", benchReplan)
 	for _, p := range pols {
 		cur.Benchmarks["policy-plan/"+p] = record("policy-plan/"+p, benchPolicyPlan(p))
 	}
 
+	if *rebaseline {
+		baseline = &cur
+	}
 	doc := Doc{Schema: 1, Baseline: baseline, Current: cur}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -152,18 +190,39 @@ func main() {
 	enc = append(enc, '\n')
 	if *out == "-" {
 		os.Stdout.Write(enc)
+	} else {
+		// Atomic (temp + rename): this file carries the recorded perf
+		// trajectory, and a crash mid-write must not leave a truncated
+		// artifact that the next run's fail-loud baseline parse rejects.
+		// Written before any -check verdict so a failing gate still leaves
+		// the fresh numbers on disk for inspection.
+		if err := atomicfile.WriteFile(*out, func(w io.Writer) error {
+			_, werr := w.Write(enc)
+			return werr
+		}); err != nil {
+			log.Fatalf("fleetbench: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "fleetbench: wrote %s\n", *out)
+	}
+
+	if !*check {
 		return
 	}
-	// Atomic (temp + rename): this file carries the recorded perf
-	// trajectory, and a crash mid-write must not leave a truncated
-	// artifact that the next run's fail-loud baseline parse rejects.
-	if err := atomicfile.WriteFile(*out, func(w io.Writer) error {
-		_, werr := w.Write(enc)
-		return werr
-	}); err != nil {
-		log.Fatalf("fleetbench: %v", err)
+	res := checkRegression(baseline, cur, thresholds{
+		AllocSlack:         *allocSlack,
+		MinThroughputRatio: *minThroughputRatio,
+		AllowEnvMismatch:   *allowEnvMismatch,
+	})
+	report := res.render()
+	fmt.Fprint(os.Stderr, report)
+	if *checkout != "" {
+		if err := os.WriteFile(*checkout, []byte(report), 0o644); err != nil {
+			log.Fatalf("fleetbench: writing check report: %v", err)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "fleetbench: wrote %s\n", *out)
+	if !res.ok() {
+		os.Exit(1)
+	}
 }
 
 // loadBaseline extracts the recorded baseline from a previous -out file so
@@ -272,9 +331,38 @@ func benchApps() []sim.App {
 	}
 }
 
-// benchEngineRun measures one uncontrolled 10-simulated-second run — the
-// cmd-level twin of internal/sim's BenchmarkEngineRun.
+// benchEngineRun measures the steady-state engine cost the fleet actually
+// pays: one uncontrolled 10-simulated-second run on a reused engine, Reset
+// in place between iterations exactly as each fleet worker does between
+// scenarios. Construction cost is excluded (that is benchEngineNew); this
+// number is the "engine allocs/run ≤ 10 steady-state" target the check
+// gate enforces.
 func benchEngineRun(b *testing.B) {
+	cfg := sim.Config{Platform: hw.FlagshipSoC(), Apps: benchApps()}
+	e, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Run(10); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Reset(cfg); err != nil {
+			b.Fatal(err)
+		}
+		if err := e.Run(10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchEngineNew measures the same run with per-iteration construction —
+// the cold-start cost a worker pays once per scenario stream. Kept
+// alongside engine-run so the trajectory file shows what Engine.Reset
+// amortises away.
+func benchEngineNew(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		e, err := sim.New(sim.Config{Platform: hw.FlagshipSoC(), Apps: benchApps()})

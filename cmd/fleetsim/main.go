@@ -129,6 +129,7 @@ func runMain() {
 	nolat := flag.Bool("nolat", false, "drop raw per-job latency samples from results and shard files (scalar mean/p95/max stay; group p95 becomes the worst per-scenario p95)")
 	stream := flag.Bool("stream", false, "with -shard: append each completed scenario to -out as a flushed NDJSON record (crash-resumable; mergeable once complete)")
 	resume := flag.Bool("resume", false, "with -shard: resume an interrupted stream at -out from its last flushed scenario (implies -stream)")
+	syncevery := flag.Int("syncevery", 0, "with -stream/-resume: fsync the stream file every N records (0 = never; per-record flushes already survive process death, fsync adds power-loss durability)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		// Stray positional args mean a mistyped invocation; running the
@@ -145,6 +146,12 @@ func runMain() {
 	}
 	if *scenarios <= 0 {
 		log.Fatalf("fleetsim: -scenarios %d must be positive", *scenarios)
+	}
+	if *syncevery < 0 {
+		log.Fatalf("fleetsim: -syncevery %d must be non-negative", *syncevery)
+	}
+	if *syncevery > 0 && !*stream && !*resume {
+		log.Fatalf("fleetsim: -syncevery only applies to -stream/-resume runs")
 	}
 	cfg, err := buildConfig(*seed, *platforms, *classes, *policy, *policies)
 	if err != nil {
@@ -178,7 +185,7 @@ func runMain() {
 				log.Fatalf("fleetsim: %s already exists; pass -resume to continue it", *out)
 			}
 		}
-		runner := &fleet.Runner{Workers: *workers, DropLatencies: *nolat}
+		runner := &fleet.Runner{Workers: *workers, DropLatencies: *nolat, SyncEvery: *syncevery}
 		if *progress {
 			runner.Progress = progressFunc()
 		}

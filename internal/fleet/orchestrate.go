@@ -52,12 +52,12 @@ type OrchestratorConfig struct {
 	DropLatencies bool
 	// StallTimeout declares a dispatched shard dead when its stream file
 	// gains no bytes for this long (every completed scenario flushes, so
-	// mtime is a progress signal). The straggler is killed and the attempt
-	// counts as failed; the retry resumes from its last flushed scenario.
-	// Zero disables detection.
+	// file growth is a progress signal; mtime is only a fallback). The
+	// straggler is killed and the attempt counts as failed; the retry
+	// resumes from its last flushed scenario. Zero disables detection.
 	StallTimeout time.Duration
 	// PollInterval is how often stall detection samples the stream file's
-	// mtime; default 200ms.
+	// size; default 200ms.
 	PollInterval time.Duration
 	// MaxAttempts bounds tries per shard (first run + retries); default 3.
 	MaxAttempts int
@@ -198,7 +198,16 @@ func attemptShard(cfg OrchestratorConfig, spec ShardSpec) (ShardResult, error) {
 	waitCh := make(chan error, 1)
 	go func() { waitCh <- proc.Wait() }()
 
-	start := time.Now()
+	// Every appended record flushes, so the stream file's *size* is the
+	// shard's heartbeat. Size growth is tracked against our own clock —
+	// comparing mtimes between polls would miss progress on filesystems
+	// with coarse (1s+) mtime granularity, where two appends within the
+	// same second leave the mtime unchanged and a fast shard looks dead.
+	// The mtime is kept only as a fallback for a writer that rewrites
+	// bytes in place without growing the file. Before the file exists the
+	// attempt start is the baseline.
+	last := time.Now()
+	lastSize := int64(-1)
 	ticker := time.NewTicker(cfg.PollInterval)
 	defer ticker.Stop()
 	stalled := false
@@ -218,12 +227,13 @@ func attemptShard(cfg OrchestratorConfig, spec ShardSpec) (ShardResult, error) {
 			if cfg.StallTimeout <= 0 || stalled {
 				continue
 			}
-			// Every appended record flushes, so the stream's mtime is the
-			// shard's heartbeat; before the file exists the attempt start
-			// is the baseline.
-			last := start
-			if fi, err := os.Stat(spec.Path); err == nil && fi.ModTime().After(last) {
-				last = fi.ModTime()
+			if fi, err := os.Stat(spec.Path); err == nil {
+				if fi.Size() != lastSize {
+					lastSize = fi.Size()
+					last = time.Now()
+				} else if fi.ModTime().After(last) {
+					last = fi.ModTime()
+				}
 			}
 			if time.Since(last) > cfg.StallTimeout {
 				stalled = true

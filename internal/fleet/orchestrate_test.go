@@ -335,8 +335,9 @@ func TestOrchestrateSIGKILLResume(t *testing.T) {
 }
 
 // TestOrchestrateStallKill: a wedged shard (progress, then silence) is
-// detected by stream mtime, killed, and its retry resumes past the point
-// it stalled at — still byte-identical to the single-process run.
+// detected by its stream file no longer growing, killed, and its retry
+// resumes past the point it stalled at — still byte-identical to the
+// single-process run.
 func TestOrchestrateStallKill(t *testing.T) {
 	if testing.Short() {
 		t.Skip("spawns real shard subprocesses")
@@ -408,5 +409,106 @@ func TestOrchestrateRejectsBadConfig(t *testing.T) {
 	}
 	if _, _, err := Orchestrate(OrchestratorConfig{Config: GeneratorConfig{Platforms: []string{"nope"}}, Workloads: 4, Shards: 1, Dir: t.TempDir()}); err == nil {
 		t.Error("invalid generator config accepted")
+	}
+}
+
+// slowShardProcess appends one pre-computed record to its stream at a
+// fixed cadence, pinning the file's mtime into the past after every
+// append — a shard making steady progress on a filesystem with coarse
+// mtime granularity, where consecutive appends leave the mtime unchanged.
+type slowShardProcess struct {
+	done   chan error
+	mu     sync.Mutex
+	killed bool
+}
+
+func (p *slowShardProcess) Wait() error { return <-p.done }
+func (p *slowShardProcess) Kill() error {
+	p.mu.Lock()
+	p.killed = true
+	p.mu.Unlock()
+	return nil
+}
+func (p *slowShardProcess) wasKilled() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.killed
+}
+
+// TestOrchestrateStallDetectionSurvivesCoarseMtime is the regression test
+// for the false-stall kill: stall detection keyed on mtime alone declared
+// a steadily progressing shard dead whenever the filesystem's mtime
+// granularity was coarser than the stall timeout (every append landed on
+// the "same" mtime). Detection must key on file growth; a shard whose
+// stream gains bytes is alive no matter what its mtime says.
+func TestOrchestrateStallDetectionSurvivesCoarseMtime(t *testing.T) {
+	const seed = 41
+	const workloads = 4
+	cfg := helperConfig(seed)
+
+	singleRep, singleRes, err := Run(cfg, workloads, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gen, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := gen.RunCount(workloads)
+	scens := gen.GenerateRange(0, runs)
+	results := make([]Result, runs)
+	for i, s := range scens {
+		results[i] = RunOne(s)
+	}
+
+	// Worst-case coarse mtime: the file's timestamp never moves at all.
+	past := time.Now().Add(-time.Hour)
+	var proc *slowShardProcess
+	start := func(spec ShardSpec) (ShardProcess, error) {
+		proc = &slowShardProcess{done: make(chan error, 1)}
+		go func() {
+			proc.done <- func() error {
+				f, err := os.Create(spec.Path)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				sw, err := NewStreamWriter(f, StreamHeader{Config: cfg, Total: runs, Lo: spec.Lo, Hi: spec.Hi})
+				if err != nil {
+					return err
+				}
+				os.Chtimes(spec.Path, past, past)
+				for _, r := range results[spec.Lo:spec.Hi] {
+					// Each record arrives well within the stall timeout, but
+					// the whole stream takes longer than it — only byte
+					// growth proves liveness.
+					time.Sleep(120 * time.Millisecond)
+					if err := sw.Append(r); err != nil {
+						return err
+					}
+					os.Chtimes(spec.Path, past, past)
+				}
+				return nil
+			}()
+		}()
+		return proc, nil
+	}
+
+	rep, res, err := Orchestrate(OrchestratorConfig{
+		Config: cfg, Workloads: workloads, Shards: 1, Dir: t.TempDir(),
+		Start:        start,
+		StallTimeout: 300 * time.Millisecond, // < total stream time, > per-record cadence
+		PollInterval: 25 * time.Millisecond,
+		MaxAttempts:  1, // a false kill must fail the test, not retry past it
+	})
+	if err != nil {
+		t.Fatalf("orchestrate killed a progressing shard: %v", err)
+	}
+	if proc.wasKilled() {
+		t.Fatal("stall detection killed a shard whose stream was growing")
+	}
+	if !bytes.Equal(reportJSON(t, singleRep, singleRes), reportJSON(t, rep, res)) {
+		t.Error("report differs from single-process run")
 	}
 }

@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestEngineReuseEquivalence is the tentpole's correctness property at the
+// fleet layer: a Runner whose workers reuse one Reset engine across their
+// whole scenario stream must produce results byte-identical to running
+// every scenario on a fresh engine — at workers 1 (the serial reuse path)
+// and 8 (each worker's independent stream), across a random mix of
+// platforms, classes and policies.
+func TestEngineReuseEquivalence(t *testing.T) {
+	cfg := GeneratorConfig{
+		Seed:     97,
+		Classes:  []Class{ClassSteady, ClassBursty, ClassThermal},
+		Policies: []string{"heuristic", "minenergy"},
+	}
+	gen, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scens := gen.Generate(gen.RunCount(20))
+
+	// Reference: every scenario on its own fresh engine (RunOne passes a
+	// nil engine, so each call constructs from scratch).
+	fresh := make([]Result, len(scens))
+	for i, s := range scens {
+		fresh[i] = RunOne(s)
+	}
+	want, err := json.Marshal(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 8} {
+		r := &Runner{Workers: workers}
+		got, err := json.Marshal(r.Run(scens))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("workers=%d: engine-reuse results differ from fresh-engine results", workers)
+		}
+	}
+}
+
+// TestRunnerProgressCoversDelivered pins the Progress/OnResult ordering
+// contract: every Progress(done, total) call with OnResult set arrives
+// strictly after the OnResult calls for indices [0, done), so done can be
+// read as "results 0..done-1 are on disk". Run under -race this also
+// proves the callbacks are serialized.
+func TestRunnerProgressCoversDelivered(t *testing.T) {
+	cfg := GeneratorConfig{Seed: 11, Platforms: []string{"odroid-xu3"}, Classes: []Class{ClassSteady}}
+	gen, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scens := gen.Generate(gen.RunCount(24))
+
+	for _, workers := range []int{1, 8} {
+		var mu sync.Mutex
+		delivered := 0
+		lastDone := 0
+		r := &Runner{
+			Workers: workers,
+			OnResult: func(index int, _ Result) {
+				mu.Lock()
+				defer mu.Unlock()
+				if index != delivered {
+					t.Errorf("workers=%d: OnResult index %d, want %d (in-order delivery)", workers, index, delivered)
+				}
+				delivered++
+			},
+			Progress: func(done, total int) {
+				mu.Lock()
+				defer mu.Unlock()
+				if done > delivered {
+					t.Errorf("workers=%d: Progress(done=%d) before OnResult delivered %d results", workers, done, delivered)
+				}
+				if done < lastDone {
+					t.Errorf("workers=%d: Progress went backwards: %d after %d", workers, done, lastDone)
+				}
+				lastDone = done
+				if total != len(scens) {
+					t.Errorf("workers=%d: Progress total %d, want %d", workers, total, len(scens))
+				}
+			},
+		}
+		r.Run(scens)
+		if delivered != len(scens) {
+			t.Errorf("workers=%d: delivered %d of %d results", workers, delivered, len(scens))
+		}
+		if lastDone != len(scens) {
+			t.Errorf("workers=%d: final Progress reported %d of %d", workers, lastDone, len(scens))
+		}
+	}
+}

@@ -74,12 +74,19 @@ var latPool = sync.Pool{New: func() any { return new(latBufs) }}
 // RunOne executes a single scenario to completion. It is a pure function
 // of the scenario (fresh platform, fresh manager, no logging), which is
 // what makes fleet results independent of scheduling.
-func RunOne(s Scenario) Result { return runOne(s, true) }
+func RunOne(s Scenario) Result {
+	r, _ := runOne(s, true, nil)
+	return r
+}
 
 // runOne is RunOne with control over whether the raw per-job Latencies
 // samples are published on the Result (dropping them keeps the scalar
-// mean/p95/max stats).
-func runOne(s Scenario, keepLatencies bool) Result {
+// mean/p95/max stats), and over engine reuse: a non-nil engine is Reset
+// for the scenario instead of constructed, and the engine actually used is
+// returned for the caller's next run (nil after a failed run, so a
+// poisoned engine is never reused). Reuse does not change a single result
+// byte — TestEngineReuseEquivalence pins that.
+func runOne(s Scenario, keepLatencies bool, eng *sim.Engine) (Result, *sim.Engine) {
 	script := s.Script
 	if script.Policy == "" {
 		// Hand-built scenarios may set only the outer Policy field.
@@ -106,12 +113,12 @@ func runOne(s Scenario, keepLatencies bool) Result {
 	plat := hw.Catalog()[s.Platform]
 	if plat == nil {
 		res.Err = fmt.Sprintf("unknown platform %q", s.Platform)
-		return res
+		return res, eng
 	}
-	_, mgr, rep, err := workload.Run(script, plat, TickS, nil)
+	eng, mgr, rep, err := workload.RunEngine(eng, script, plat, TickS, nil)
 	if err != nil {
 		res.Err = err.Error()
-		return res
+		return res, nil
 	}
 
 	res.DurationS = rep.DurationS
@@ -160,7 +167,7 @@ func runOne(s Scenario, keepLatencies bool) Result {
 		res.Latencies = make([]float64, len(raw))
 		copy(res.Latencies, raw)
 	}
-	return res
+	return res, eng
 }
 
 // percentileSorted returns the p-quantile (true nearest-rank, rank =
@@ -196,9 +203,16 @@ func percentileSorted(sorted []float64, p float64) float64 {
 type Runner struct {
 	// Workers is the pool size; 0 means runtime.NumCPU().
 	Workers int
-	// Progress, when set, is called after each scenario completes with the
-	// number done so far and the total. Calls arrive from worker
-	// goroutines; the callback must be safe for concurrent use.
+	// Progress, when set, is called as scenarios complete with the number
+	// done so far and the total. Calls arrive from worker goroutines; the
+	// callback must be safe for concurrent use.
+	//
+	// When OnResult is also set, done counts *delivered* results — the
+	// prefix-complete count — and every Progress(done, total) call is
+	// ordered strictly after the OnResult calls for indices [0, done).
+	// A streaming consumer can therefore treat done as "results 0..done-1
+	// are on disk". Without OnResult, done counts raw completions, which
+	// finish out of order under the pool.
 	Progress func(done, total int)
 	// DropLatencies omits the raw per-job Latencies samples from every
 	// Result (the fleetsim -nolat switch). The scalar per-scenario
@@ -207,6 +221,12 @@ type Runner struct {
 	// p95s. Raw samples dominate result and shard-file size, so
 	// million-scenario fleets run with this set.
 	DropLatencies bool
+	// SyncEvery, for streaming runs (ResumeShard), fsyncs the stream file
+	// after every this-many appended records. 0 (the default) never
+	// fsyncs mid-run: per-record bufio flushes already survive process
+	// death, and fsync only buys durability against whole-machine power
+	// loss — see StreamWriter's crash model.
+	SyncEvery int
 	// OnResult, when set, is called exactly once per completed scenario,
 	// in ascending scenario-index order (index is the position in the
 	// slice passed to Run). Workers complete out of order; Run holds
@@ -219,7 +239,10 @@ type Runner struct {
 
 // Run executes all scenarios and returns results indexed by scenario
 // position. Output is bit-identical for any worker count: each run is
-// independent and results land in their own slot.
+// independent and results land in their own slot. Each worker owns one
+// sim.Engine for its whole scenario stream, Reset in place between
+// scenarios — the engine-construction allocations are paid once per
+// worker, not once per scenario.
 func (r *Runner) Run(scenarios []Scenario) []Result {
 	results := make([]Result, len(scenarios))
 	workers := r.Workers
@@ -230,8 +253,9 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 		workers = len(scenarios)
 	}
 	if workers <= 1 {
+		var eng *sim.Engine
 		for i, s := range scenarios {
-			results[i] = runOne(s, !r.DropLatencies)
+			results[i], eng = runOne(s, !r.DropLatencies, eng)
 			if r.OnResult != nil {
 				r.OnResult(i, results[i])
 			}
@@ -245,7 +269,9 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 	// indices, emit is the next index owed to the callback. Whichever
 	// worker completes the missing prefix element drains everything that
 	// became deliverable behind it, under the mutex, so callbacks stay
-	// serialized and ordered.
+	// serialized and ordered. Progress shares the critical section so a
+	// Progress(done, total) call can never race ahead of the OnResult
+	// deliveries it claims to cover.
 	var (
 		emitMu sync.Mutex
 		ready  []bool
@@ -260,22 +286,27 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			var eng *sim.Engine
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(scenarios) {
 					return
 				}
-				results[i] = runOne(scenarios[i], !r.DropLatencies)
+				results[i], eng = runOne(scenarios[i], !r.DropLatencies, eng)
 				if r.OnResult != nil {
 					emitMu.Lock()
 					ready[i] = true
+					delivered := 0
 					for emit < len(ready) && ready[emit] {
 						r.OnResult(emit, results[emit])
 						emit++
+						delivered++
+					}
+					if r.Progress != nil && delivered > 0 {
+						r.Progress(emit, len(scenarios))
 					}
 					emitMu.Unlock()
-				}
-				if r.Progress != nil {
+				} else if r.Progress != nil {
 					r.Progress(int(done.Add(1)), len(scenarios))
 				}
 			}

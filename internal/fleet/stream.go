@@ -91,13 +91,35 @@ func (h StreamHeader) matches(want StreamHeader) error {
 // flushed line per record, in scenario-index order. It validates every
 // record against the header the way shard readers do, so a stream can only
 // ever contain records of the run its header declares.
+//
+// Crash model: every record is flushed through the bufio layer to the
+// underlying writer before Append returns, so a *process* death (SIGKILL,
+// panic, OOM kill) loses at most the partially written final line, which
+// resume discards. Flushing does NOT fsync: on a whole-machine power loss
+// the OS page cache can drop any number of "flushed" trailing records (the
+// file simply ends earlier — resume re-runs them, so no corruption, just
+// lost work). Callers who need bounded data loss across power failure set
+// SetSyncEvery, which fsyncs the underlying file every n records.
 type StreamWriter struct {
 	w    *bufio.Writer
 	hdr  StreamHeader
 	pols []string
 	next int
 	err  error // sticky: after a write error the stream is poisoned
+
+	sync      func() error // fsync of the underlying file, if it has one
+	syncEvery int          // fsync cadence in records; 0 = never
+	sinceSync int
 }
+
+// SetSyncEvery makes the writer fsync the underlying file after every n
+// appended records (0, the default, never fsyncs — see the crash model
+// above). It is a no-op when the underlying writer has no Sync method
+// (e.g. a pipe or an in-memory buffer). Each fsync bounds power-loss data
+// loss to the last n records at a real durability cost per sync; leave it
+// off unless re-running lost scenarios after a power failure is more
+// expensive than fsyncing through the run.
+func (sw *StreamWriter) SetSyncEvery(n int) { sw.syncEvery = n }
 
 // NewStreamWriter writes the header line to w and returns a writer
 // expecting records hdr.Lo, hdr.Lo+1, … in order. The Stream marker and
@@ -128,7 +150,11 @@ func NewStreamWriter(w io.Writer, hdr StreamHeader) (*StreamWriter, error) {
 // validated.
 func newStreamWriterAt(w io.Writer, hdr StreamHeader, next int) *StreamWriter {
 	pols, _ := resolvePolicies(hdr.Config.Policies) // validated with hdr
-	return &StreamWriter{w: bufio.NewWriter(w), hdr: hdr, pols: pols, next: next}
+	sw := &StreamWriter{w: bufio.NewWriter(w), hdr: hdr, pols: pols, next: next}
+	if s, ok := w.(interface{ Sync() error }); ok {
+		sw.sync = s.Sync
+	}
+	return sw
 }
 
 // Append writes one completed result and flushes it to the underlying
@@ -159,6 +185,15 @@ func (sw *StreamWriter) Append(r Result) error {
 	if err := sw.w.Flush(); err != nil {
 		sw.err = err
 		return err
+	}
+	if sw.syncEvery > 0 && sw.sync != nil {
+		if sw.sinceSync++; sw.sinceSync >= sw.syncEvery {
+			if err := sw.sync(); err != nil {
+				sw.err = err
+				return err
+			}
+			sw.sinceSync = 0
+		}
 	}
 	sw.next++
 	return nil
@@ -363,6 +398,7 @@ func (r *Runner) ResumeShard(path string, cfg GeneratorConfig, total, index, cou
 	} else {
 		sw = newStreamWriterAt(f, want, next)
 	}
+	sw.SetSyncEvery(r.SyncEvery)
 
 	results := replayed
 	if next < hi {

@@ -325,3 +325,71 @@ func TestRunnerOnResultOrder(t *testing.T) {
 		}
 	}
 }
+
+// syncCounter is an in-memory stream target with an fsync-shaped Sync
+// method, counting calls.
+type syncCounter struct {
+	bytes.Buffer
+	syncs int
+}
+
+func (w *syncCounter) Sync() error { w.syncs++; return nil }
+
+// TestStreamWriterSyncEvery: SetSyncEvery fsyncs the underlying writer
+// every n records — and only then; the default never syncs, and a writer
+// without a Sync method is a silent no-op.
+func TestStreamWriterSyncEvery(t *testing.T) {
+	cfg := GeneratorConfig{Seed: 5}
+	s := fakeShard(cfg, 8, 2, 6) // 4 records
+
+	newWriter := func(w io.Writer) *StreamWriter {
+		t.Helper()
+		sw, err := NewStreamWriter(w, StreamHeader{Config: cfg, Total: s.Total, Lo: s.Lo, Hi: s.Hi})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sw
+	}
+	appendAll := func(sw *StreamWriter) {
+		t.Helper()
+		for _, r := range s.Results {
+			if err := sw.Append(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Default: the header and 4 records trigger zero syncs.
+	w := &syncCounter{}
+	appendAll(newWriter(w))
+	if w.syncs != 0 {
+		t.Errorf("default writer synced %d times, want 0", w.syncs)
+	}
+
+	// Every 2 records: 4 appends = 2 syncs.
+	w = &syncCounter{}
+	sw := newWriter(w)
+	sw.SetSyncEvery(2)
+	appendAll(sw)
+	if w.syncs != 2 {
+		t.Errorf("SyncEvery(2) synced %d times over 4 records, want 2", w.syncs)
+	}
+
+	// Every 3 records: syncs at record 3; records 4 leaves one pending.
+	w = &syncCounter{}
+	sw = newWriter(w)
+	sw.SetSyncEvery(3)
+	appendAll(sw)
+	if w.syncs != 1 {
+		t.Errorf("SyncEvery(3) synced %d times over 4 records, want 1", w.syncs)
+	}
+
+	// A writer with no Sync method must not break.
+	var buf bytes.Buffer
+	sw = newWriter(&buf)
+	sw.SetSyncEvery(1)
+	appendAll(sw)
+	if !sw.Complete() {
+		t.Error("stream incomplete on a sync-less writer")
+	}
+}

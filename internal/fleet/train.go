@@ -317,7 +317,7 @@ func trainOne(cfg TrainConfig, s Scenario, pick func(key string) int) trainRun {
 		rec.arms[i] = p
 	}
 	s.Script.Planner = rec
-	r := runOne(s, false)
+	r, _ := runOne(s, false, nil)
 	if r.Err != "" {
 		return trainRun{visits: rec.visits, err: fmt.Errorf("%s", r.Err)}
 	}

@@ -93,7 +93,10 @@ func (e *Engine) push(t float64, kind hKind, app int32) int64 {
 	return e.seq
 }
 
-// Run executes the simulation until endS seconds. It may be called once.
+// Run executes the simulation until endS seconds. Calling Run again on
+// the same engine continues from the accumulated state (warm caches,
+// stats and all — the rtm tests use this to extend a managed run); use
+// Reset to rewind to the pristine state a fresh New would build.
 func (e *Engine) Run(endS float64) error {
 	if endS <= 0 {
 		return fmt.Errorf("sim: end time %f must be positive", endS)
@@ -328,8 +331,11 @@ func (e *Engine) handle(ev hevent) {
 			e.thermalEvSeq = 0 // consumed; refresh may schedule a successor
 			if !e.alarmed && e.thermal.TempC >= e.plat.Thermal.ThrottleC-0.05 {
 				e.alarmed = true
-				e.emit(Event{TimeS: e.now, Kind: EvThermalAlarm,
-					Note: fmt.Sprintf("%.1fC", e.thermal.TempC)})
+				ev := Event{TimeS: e.now, Kind: EvThermalAlarm}
+				if e.observed() {
+					ev.Note = fmt.Sprintf("%.1fC", e.thermal.TempC)
+				}
+				e.emit(ev)
 			}
 		}
 	}
@@ -368,12 +374,24 @@ func (e *Engine) complete(a *appState) {
 	}
 	if latency > a.PeriodS+1e-9 {
 		a.missed++
-		e.emit(Event{TimeS: e.now, Kind: EvDeadlineMiss, App: a.Name,
-			Note:     fmt.Sprintf("latency %.1fms > %.1fms", latency*1000, a.PeriodS*1000),
-			LatencyS: latency})
+		ev := Event{TimeS: e.now, Kind: EvDeadlineMiss, App: a.Name, LatencyS: latency}
+		if e.observed() {
+			// The note is presentation-only; formatting it when no log and
+			// no controller will ever see it was the uncontrolled run's
+			// dominant allocation.
+			ev.Note = fmt.Sprintf("latency %.1fms > %.1fms", latency*1000, a.PeriodS*1000)
+		}
+		e.emit(ev)
 	} else {
 		e.emit(Event{TimeS: e.now, Kind: EvJobComplete, App: a.Name, LatencyS: latency})
 	}
+}
+
+// observed reports whether an emitted Event reaches anything — the
+// retained log or a controller. Callers formatting presentation-only Note
+// strings check this first so an unobserved run never pays for them.
+func (e *Engine) observed() bool {
+	return e.logEvents || e.ctrl != nil
 }
 
 // emit records an event and forwards it to the controller.

@@ -201,9 +201,15 @@ type Engine struct {
 	// order, an allocation — per event).
 	appList     []*appState
 	clusterList []*clusterState
-	thermal     *hw.ThermalState
-	ambient     float64 // current ambient °C (scenario-controllable)
-	mig         MigrationModel
+	// appStore / clusterStore are the backing arrays the list pointers
+	// index into. Reset rewrites them in place, so a worker replaying
+	// thousands of scenarios through one engine re-allocates state only
+	// when a scenario needs more apps or clusters than any before it.
+	appStore     []appState
+	clusterStore []clusterState
+	thermal      hw.ThermalState
+	ambient      float64 // current ambient °C (scenario-controllable)
+	mig          MigrationModel
 
 	ctrl  Controller
 	tickS float64
@@ -239,53 +245,104 @@ type Config struct {
 
 // New validates the config and builds an engine.
 func New(cfg Config) (*Engine, error) {
-	if cfg.Platform == nil {
-		return nil, fmt.Errorf("sim: nil platform")
-	}
-	if err := cfg.Platform.Validate(); err != nil {
+	e := &Engine{}
+	if err := e.Reset(cfg); err != nil {
 		return nil, err
 	}
-	e := &Engine{
-		plat:      cfg.Platform,
-		apps:      map[string]*appState{},
-		clusters:  map[string]*clusterState{},
-		thermal:   hw.NewThermalState(cfg.Platform.AmbientC),
-		ambient:   cfg.Platform.AmbientC,
-		mig:       cfg.Migration,
-		ctrl:      cfg.Controller,
-		tickS:     cfg.TickS,
-		logEvents: cfg.LogEvents,
+	return e, nil
+}
+
+// Reset rewinds the engine to the pristine pre-Run state New would build
+// for cfg, reusing the existing backing storage: the event heap, the
+// per-app and per-cluster state stores, the name-lookup maps and the event
+// log all keep their capacity, so a worker replaying a stream of scenarios
+// through one engine runs allocation-free once the stores have grown to
+// the stream's high-water mark. Reset-then-Run is byte-for-byte equivalent
+// to a fresh New-then-Run of the same config — the equivalence the fleet
+// layer's reuse property tests pin.
+//
+// Reset invalidates everything handed out by the previous run: Report
+// Events slices alias the engine's log and are rewritten in place. On
+// error the engine is left partially rewound and must not be used until a
+// subsequent Reset succeeds.
+func (e *Engine) Reset(cfg Config) error {
+	if cfg.Platform == nil {
+		return fmt.Errorf("sim: nil platform")
 	}
+	if err := cfg.Platform.Validate(); err != nil {
+		return err
+	}
+	e.plat = cfg.Platform
+	e.thermal = hw.ThermalState{TempC: cfg.Platform.AmbientC}
+	e.ambient = cfg.Platform.AmbientC
+	e.mig = cfg.Migration
+	e.ctrl = cfg.Controller
+	e.tickS = cfg.TickS
+	e.logEvents = cfg.LogEvents
 	if e.mig.BandwidthBps == 0 && e.mig.FixedS == 0 {
 		e.mig = DefaultMigrationModel()
 	}
-	for _, c := range cfg.Platform.Clusters {
-		cs := &clusterState{c: c, oppIdx: 0}
+
+	e.now, e.endS, e.seq = 0, 0, 0
+	e.thermalEvSeq, e.thermalEst, e.alarmed = 0, 0, false
+	e.overThrotS, e.overCritS, e.totalEnergy = 0, 0, 0
+	e.migrations, e.levelSwaps, e.oppSwitches = 0, 0, 0
+	e.maxTempC = cfg.Platform.AmbientC
+
+	if e.apps == nil {
+		e.apps = make(map[string]*appState, len(cfg.Apps))
+		e.clusters = make(map[string]*clusterState, len(cfg.Platform.Clusters))
+	} else {
+		clear(e.apps)
+		clear(e.clusters)
+	}
+
+	// Rebuild cluster state into the reused store; pointers are taken only
+	// after the store has its final size, so they stay valid.
+	if cap(e.clusterStore) < len(cfg.Platform.Clusters) {
+		e.clusterStore = make([]clusterState, len(cfg.Platform.Clusters))
+	}
+	e.clusterStore = e.clusterStore[:len(cfg.Platform.Clusters)]
+	e.clusterList = e.clusterList[:0]
+	for i, c := range cfg.Platform.Clusters {
+		e.clusterStore[i] = clusterState{c: c}
+		cs := &e.clusterStore[i]
 		e.clusters[c.Name] = cs
 		e.clusterList = append(e.clusterList, cs)
 	}
-	for _, a := range cfg.Apps {
+
+	if cap(e.appStore) < len(cfg.Apps) {
+		e.appStore = make([]appState, len(cfg.Apps))
+	}
+	e.appStore = e.appStore[:len(cfg.Apps)]
+	e.appList = e.appList[:0]
+	for i, a := range cfg.Apps {
 		if err := e.validateApp(a); err != nil {
-			return nil, err
+			return err
 		}
 		// Accelerators are always allocated whole; normalising here keeps
 		// planner-computed placements comparable with initial ones.
 		if cl := cfg.Platform.Cluster(a.Placement.Cluster); cl.Type.IsAccelerator() {
 			a.Placement.Cores = cl.Cores
 		}
-		st := &appState{App: a, idx: int32(len(e.appList)), placed: a.Placement, level: a.Level}
+		e.appStore[i] = appState{App: a, idx: int32(i), placed: a.Placement, level: a.Level}
+		st := &e.appStore[i]
 		e.apps[a.Name] = st
 		e.appList = append(e.appList, st)
 	}
+
 	// Size the event queue for the steady state (a handful of pending
 	// events per app) and the event log for a realistic run, so the hot
 	// loop reaches zero-allocation push/pop and amortised emit quickly.
-	e.events = make(eventHeap, 0, 16+4*len(e.appList))
-	if e.logEvents {
+	if want := 16 + 4*len(e.appList); cap(e.events) < want {
+		e.events = make(eventHeap, 0, want)
+	}
+	e.events = e.events[:0]
+	if e.logEvents && e.eventLog == nil {
 		e.eventLog = make([]Event, 0, 512)
 	}
-	e.maxTempC = cfg.Platform.AmbientC
-	return e, nil
+	e.eventLog = e.eventLog[:0]
+	return nil
 }
 
 func (e *Engine) validateApp(a App) error {

@@ -195,6 +195,20 @@ func Fig5Scenario(prof perf.ModelProfile) Scenario {
 // Run executes a scenario with the manager in the loop and returns the
 // engine for inspection, the manager, and the final report.
 func Run(s Scenario, plat *hw.Platform, tickS float64, logf func(string, ...any)) (*sim.Engine, *rtm.Manager, sim.Report, error) {
+	return RunEngine(nil, s, plat, tickS, logf)
+}
+
+// RunEngine is Run with engine reuse: a non-nil engine is Reset in place
+// for the scenario instead of constructed, which removes the per-run
+// engine-construction allocations — the point of a worker owning one
+// engine for its whole scenario stream. The manager and controller are
+// always fresh (their construction is cheap and their state must be
+// pristine per run), so a reused-engine run is byte-identical to a fresh
+// one. Passing nil behaves exactly like Run. The returned engine is the
+// one the scenario actually ran on; reuse it for the next call. A
+// scenario's Report must be consumed before the engine is reused — Reset
+// rewrites the event log the Report's Events field aliases.
+func RunEngine(e *sim.Engine, s Scenario, plat *hw.Platform, tickS float64, logf func(string, ...any)) (*sim.Engine, *rtm.Manager, sim.Report, error) {
 	pol := s.Planner
 	if pol == nil {
 		var err error
@@ -207,13 +221,19 @@ func Run(s Scenario, plat *hw.Platform, tickS float64, logf func(string, ...any)
 	mgr.SetPolicy(pol)
 	mgr.Logf = logf
 	ctrl := NewScenarioController(mgr, s.Actions)
-	e, err := sim.New(sim.Config{
+	cfg := sim.Config{
 		Platform:   plat,
 		Apps:       s.Apps,
 		Controller: ctrl,
 		TickS:      tickS,
 		LogEvents:  true,
-	})
+	}
+	var err error
+	if e == nil {
+		e, err = sim.New(cfg)
+	} else {
+		err = e.Reset(cfg)
+	}
 	if err != nil {
 		return nil, nil, sim.Report{}, err
 	}
