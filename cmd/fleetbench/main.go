@@ -10,8 +10,16 @@
 //     p50/p95;
 //   - Go testing.Benchmark micro-benchmarks of each hot layer — engine-run
 //     (one uncontrolled simulated run), replan (view build + policy plan +
-//     actuation against a live engine) and policy-plan per registered
-//     policy — each reporting ns/op, B/op and allocs/op.
+//     actuation against a live engine, plan reuse disabled so the row keeps
+//     measuring a full plan), replan-elided (the fingerprint-stable fast
+//     path), plan-cache/hit (snapshot + canonical key + memo copy-out when
+//     elision is defeated but the state recurs) and policy-plan per
+//     registered policy — each reporting ns/op, B/op and allocs/op.
+//
+// Profile the timed sweep with -cpuprofile/-memprofile: the capture window
+// covers exactly the fleet sweep the check gate holds, so a hot-path hunt
+// sees the same work mix the scenarios/sec figure measures. Inspect with
+// `go tool pprof fleetbench cpu.out`.
 //
 // When -out points at an existing file, its "baseline" object is
 // preserved, so CI reruns keep the recorded pre-optimisation numbers next
@@ -39,6 +47,7 @@
 //	           [-quick] [-benchtime 100ms] [-out BENCH_fleet.json]
 //	           [-check] [-alloc-slack 0] [-min-throughput-ratio 0.5]
 //	           [-allow-env-mismatch] [-checkout check.txt] [-rebaseline]
+//	           [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -49,6 +58,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"testing"
@@ -81,6 +91,15 @@ type FleetNumbers struct {
 	P50WallMs       float64  `json:"p50WallMs"`
 	P95WallMs       float64  `json:"p95WallMs"`
 	MaxWallMs       float64  `json:"maxWallMs"`
+	// Plan-reuse counters from the pooled sweep. PlansTotal and
+	// PlansElided are per-scenario properties and thus deterministic for a
+	// seed; cache hits/misses depend on which scenarios each worker's
+	// shared cache saw, so they vary with work-stealing order. All four
+	// are informational — the check gate never reads them.
+	PlansTotal      int `json:"plansTotal,omitempty"`
+	PlansElided     int `json:"plansElided,omitempty"`
+	PlanCacheHits   int `json:"planCacheHits,omitempty"`
+	PlanCacheMisses int `json:"planCacheMisses,omitempty"`
 }
 
 // Numbers is one complete measurement set.
@@ -93,12 +112,40 @@ type Numbers struct {
 	Benchmarks map[string]BenchNumbers `json:"benchmarks"`
 }
 
+// HistoryEntry is one line of the append-only perf trajectory: a
+// timestamped summary of a run that became the baseline.
+type HistoryEntry struct {
+	Timestamp       string           `json:"timestamp"`
+	Note            string           `json:"note,omitempty"`
+	ScenariosPerSec float64          `json:"scenariosPerSec"`
+	Allocs          map[string]int64 `json:"allocs,omitempty"`
+}
+
 // Doc is the BENCH_fleet.json schema: the recorded baseline (kept across
-// reruns) and the current measurement.
+// reruns), the current measurement, and the append-only history of every
+// rebaseline — the long-run perf trajectory that survives baselines
+// replacing each other.
 type Doc struct {
-	Schema   int      `json:"schema"`
-	Baseline *Numbers `json:"baseline,omitempty"`
-	Current  Numbers  `json:"current"`
+	Schema   int            `json:"schema"`
+	Baseline *Numbers       `json:"baseline,omitempty"`
+	Current  Numbers        `json:"current"`
+	History  []HistoryEntry `json:"history,omitempty"`
+}
+
+// historyEntry summarises a measurement for the trajectory log: the
+// headline throughput number plus allocs/op per micro-benchmark (the
+// deterministic numbers worth tracking across toolchains).
+func historyEntry(n Numbers) HistoryEntry {
+	h := HistoryEntry{
+		Timestamp:       n.Timestamp,
+		Note:            n.Note,
+		ScenariosPerSec: n.Fleet.ScenariosPerSec,
+		Allocs:          make(map[string]int64, len(n.Benchmarks)),
+	}
+	for name, b := range n.Benchmarks {
+		h.Allocs[name] = b.AllocsPerOp
+	}
+	return h
 }
 
 func main() {
@@ -120,6 +167,8 @@ func main() {
 	allowEnvMismatch := flag.Bool("allow-env-mismatch", false, "with -check: on goVersion/gomaxprocs mismatch, annotate loudly and compare allocs only instead of refusing")
 	rebaseline := flag.Bool("rebaseline", false, "record this run's numbers as the new baseline (replacing any recorded one)")
 	checkout := flag.String("checkout", "", "with -check: also write the check report to this file (for CI artifacts)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the fleet sweep to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile taken after the fleet sweep to this file")
 	flag.Parse()
 
 	if *quick {
@@ -142,13 +191,14 @@ func main() {
 			log.Fatalf("fleetbench: %v", err)
 		}
 	}
-	// Read the previous baseline *before* measuring: a corrupt -out file
-	// must fail fast, not after minutes of benchmarks whose fresh numbers
-	// it would discard along with itself.
+	// Read the previous baseline and history *before* measuring: a corrupt
+	// -out file must fail fast, not after minutes of benchmarks whose fresh
+	// numbers it would discard along with itself.
 	var baseline *Numbers
+	var history []HistoryEntry
 	if *out != "-" {
 		var err error
-		if baseline, err = loadBaseline(*out); err != nil {
+		if baseline, history, err = loadBaseline(*out); err != nil {
 			log.Fatalf("fleetbench: %v", err)
 		}
 	}
@@ -162,10 +212,39 @@ func main() {
 	}
 
 	// ---- Fleet throughput sweep ----
+	// The profile window covers exactly the timed sweep — the number the
+	// check gate holds — so a hot-path hunt sees the same mix the
+	// scenarios/sec figure measures, without micro-benchmark noise.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("fleetbench: -cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("fleetbench: -cpuprofile: %v", err)
+		}
+		defer f.Close()
+	}
 	fmt.Fprintf(os.Stderr, "fleetbench: sweep %d scenarios x %d policies...\n", *scenarios, len(pols))
 	fn, err := sweep(*seed, *scenarios, *workers, pols)
 	if err != nil {
 		log.Fatalf("fleetbench: %v", err)
+	}
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+		fmt.Fprintf(os.Stderr, "fleetbench: wrote %s\n", *cpuprofile)
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatalf("fleetbench: -memprofile: %v", err)
+		}
+		runtime.GC() // flush recently-freed objects so the profile shows live + cumulative allocs accurately
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatalf("fleetbench: -memprofile: %v", err)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "fleetbench: wrote %s\n", *memprofile)
 	}
 	cur.Fleet = fn
 	fmt.Fprintf(os.Stderr, "fleetbench: %.1f scenarios/sec (%d runs in %.2fs)\n",
@@ -175,14 +254,25 @@ func main() {
 	cur.Benchmarks["engine-run"] = record("engine-run", benchEngineRun)
 	cur.Benchmarks["engine-new"] = record("engine-new", benchEngineNew)
 	cur.Benchmarks["replan"] = record("replan", benchReplan)
+	cur.Benchmarks["replan-elided"] = record("replan-elided", benchReplanElided)
+	cur.Benchmarks["plan-cache/hit"] = record("plan-cache/hit", benchPlanCacheHit)
 	for _, p := range pols {
 		cur.Benchmarks["policy-plan/"+p] = record("policy-plan/"+p, benchPolicyPlan(p))
 	}
 
 	if *rebaseline {
+		// The trajectory log is append-only: every run that becomes the
+		// baseline leaves a permanent line, so the perf history survives
+		// baselines replacing each other. Files that predate the history
+		// field get their about-to-be-replaced baseline preserved as line
+		// zero exactly once.
+		if len(history) == 0 && baseline != nil {
+			history = append(history, historyEntry(*baseline))
+		}
 		baseline = &cur
+		history = append(history, historyEntry(cur))
 	}
-	doc := Doc{Schema: 1, Baseline: baseline, Current: cur}
+	doc := Doc{Schema: 1, Baseline: baseline, Current: cur, History: history}
 	enc, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		log.Fatalf("fleetbench: %v", err)
@@ -225,26 +315,27 @@ func main() {
 	}
 }
 
-// loadBaseline extracts the recorded baseline from a previous -out file so
-// reruns preserve the pre-optimisation numbers. A missing file is fine
-// (first run: no baseline). A file that exists but does not parse is an
+// loadBaseline extracts the recorded baseline and the append-only history
+// from a previous -out file so reruns preserve the pre-optimisation
+// numbers and the trajectory log. A missing file is fine (first run: no
+// baseline, empty history). A file that exists but does not parse is an
 // error, not a shrug: the old behaviour silently dropped the baseline on a
 // corrupt artifact and the next write destroyed the recorded perf
 // trajectory — exactly the history the file exists to keep. The caller
 // refuses to overwrite until the operator fixes or removes the file.
-func loadBaseline(path string) (*Numbers, error) {
+func loadBaseline(path string) (*Numbers, []HistoryEntry, error) {
 	prev, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
-		return nil, nil
+		return nil, nil, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("reading previous %s: %w", path, err)
+		return nil, nil, fmt.Errorf("reading previous %s: %w", path, err)
 	}
 	var old Doc
 	if err := json.Unmarshal(prev, &old); err != nil {
-		return nil, fmt.Errorf("previous %s is corrupt (%v); refusing to overwrite it and lose the recorded baseline — fix or delete the file, or use -out - for stdout", path, err)
+		return nil, nil, fmt.Errorf("previous %s is corrupt (%v); refusing to overwrite it and lose the recorded baseline — fix or delete the file, or use -out - for stdout", path, err)
 	}
-	return old.Baseline, nil
+	return old.Baseline, old.History, nil
 }
 
 // sweep times a full fleet run and derives throughput plus per-scenario
@@ -299,6 +390,13 @@ func sweep(seed uint64, scenarios, workers int, pols []string) (FleetNumbers, er
 		fn.P95WallMs = ms[min(n-1, int(float64(n)*0.95+0.5)-1)]
 		fn.MaxWallMs = ms[n-1]
 	}
+	ps := runner.PlanCacheStats()
+	fn.PlansTotal = ps.Plans
+	fn.PlansElided = ps.Elided
+	fn.PlanCacheHits = ps.CacheHits
+	fn.PlanCacheMisses = ps.CacheMisses
+	fmt.Fprintf(os.Stderr, "fleetbench: plan reuse: %d plans, %d elided, %d cache hits, %d misses\n",
+		ps.Plans, ps.Elided, ps.CacheHits, ps.CacheMisses)
 	return fn, nil
 }
 
@@ -375,9 +473,9 @@ func benchEngineNew(b *testing.B) {
 	}
 }
 
-// benchReplan measures the full manager path against a warmed-up engine —
-// the cmd-level twin of internal/rtm's BenchmarkReplan.
-func benchReplan(b *testing.B) {
+// benchManagedEngine builds the warmed-up manager + engine pair the replan
+// benchmarks share.
+func benchManagedEngine(b *testing.B) (*rtm.Manager, *sim.Engine) {
 	mgr := rtm.NewManager(map[string]rtm.Requirement{
 		"dnn1": {MinAccuracy: 0.70, Priority: 1},
 		"dnn2": {MinAccuracy: 0.70, Priority: 2},
@@ -395,9 +493,52 @@ func benchReplan(b *testing.B) {
 	if err := e.Run(2); err != nil {
 		b.Fatal(err)
 	}
+	return mgr, e
+}
+
+// benchReplan measures the full manager path against a warmed-up engine —
+// the cmd-level twin of internal/rtm's BenchmarkReplan. Plan reuse is
+// disabled: on a quiescent engine every iteration after the first would
+// otherwise be elided, and this row exists to track the cost of a real
+// snapshot + plan + actuation.
+func benchReplan(b *testing.B) {
+	mgr, e := benchManagedEngine(b)
+	mgr.NoPlanReuse = true
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		mgr.Replan(e)
+	}
+}
+
+// benchReplanElided measures the fingerprint-stable fast path: after one
+// actuated fixed point, every further Replan on a quiescent engine is a
+// fingerprint compare and a counter bump. This is the per-tick cost the
+// elision tier buys the fleet down to.
+func benchReplanElided(b *testing.B) {
+	mgr, e := benchManagedEngine(b)
+	mgr.Replan(e) // reach the actuated fixed point
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mgr.Replan(e)
+	}
+}
+
+// benchPlanCacheHit measures the memo-hit path: re-setting an identical
+// requirement bumps the manager's requirement version, which defeats
+// elision, but the canonical plan key is unchanged — so each iteration
+// pays view build + key build + cached-plan copy-out + actuation, skipping
+// only the policy's planning work.
+func benchPlanCacheHit(b *testing.B) {
+	mgr, e := benchManagedEngine(b)
+	req := rtm.Requirement{Priority: 1}
+	mgr.SetRequirement("dnn3", req)
+	mgr.Replan(e) // prime the cache entry
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mgr.SetRequirement("dnn3", req)
 		mgr.Replan(e)
 	}
 }

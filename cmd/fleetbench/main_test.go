@@ -19,9 +19,9 @@ func TestLoadBaseline(t *testing.T) {
 	dir := t.TempDir()
 
 	t.Run("missing file is a fresh start", func(t *testing.T) {
-		b, err := loadBaseline(filepath.Join(dir, "nope.json"))
-		if err != nil || b != nil {
-			t.Fatalf("loadBaseline(missing) = %v, %v; want nil, nil", b, err)
+		b, h, err := loadBaseline(filepath.Join(dir, "nope.json"))
+		if err != nil || b != nil || h != nil {
+			t.Fatalf("loadBaseline(missing) = %v, %v, %v; want nil, nil, nil", b, h, err)
 		}
 	})
 
@@ -35,7 +35,7 @@ func TestLoadBaseline(t *testing.T) {
 		if err := os.WriteFile(path, raw, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		got, err := loadBaseline(path)
+		got, _, err := loadBaseline(path)
 		if err != nil {
 			t.Fatalf("loadBaseline(valid) error: %v", err)
 		}
@@ -53,9 +53,32 @@ func TestLoadBaseline(t *testing.T) {
 		if err := os.WriteFile(path, raw, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		b, err := loadBaseline(path)
+		b, _, err := loadBaseline(path)
 		if err != nil || b != nil {
 			t.Fatalf("loadBaseline(no-baseline) = %v, %v; want nil, nil", b, err)
+		}
+	})
+
+	t.Run("history rides along untouched", func(t *testing.T) {
+		hist := []HistoryEntry{
+			{Timestamp: "2026-01-01T00:00:00Z", Note: "seed", ScenariosPerSec: 226.8, Allocs: map[string]int64{"replan": 23}},
+			{Timestamp: "2026-02-01T00:00:00Z", Note: "engine reuse", ScenariosPerSec: 609.3},
+		}
+		path := filepath.Join(dir, "history.json")
+		raw, err := json.Marshal(Doc{Schema: 1, Current: Numbers{}, History: hist})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, got, err := loadBaseline(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(hist) || got[0].Note != "seed" || got[1].ScenariosPerSec != 609.3 ||
+			got[0].Allocs["replan"] != 23 {
+			t.Fatalf("history mangled on load: %+v", got)
 		}
 	})
 
@@ -64,7 +87,7 @@ func TestLoadBaseline(t *testing.T) {
 		if err := os.WriteFile(path, []byte(`{"schema": 1, "baseline": {trunc`), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		b, err := loadBaseline(path)
+		b, _, err := loadBaseline(path)
 		if err == nil {
 			t.Fatalf("loadBaseline(corrupt) = %+v, nil; want an error — a corrupt artifact must not silently drop the baseline", b)
 		}
@@ -72,4 +95,26 @@ func TestLoadBaseline(t *testing.T) {
 			t.Fatalf("loadBaseline(corrupt) error %q should explain it refuses to overwrite", err)
 		}
 	})
+}
+
+// TestHistoryEntry pins what a rebaseline appends to the trajectory log:
+// the headline throughput and the deterministic allocs/op per benchmark.
+func TestHistoryEntry(t *testing.T) {
+	n := Numbers{
+		Timestamp: "2026-08-07T00:00:00Z",
+		Note:      "plan reuse",
+		Fleet:     FleetNumbers{ScenariosPerSec: 640},
+		Benchmarks: map[string]BenchNumbers{
+			"replan":         {NsPerOp: 1000, AllocsPerOp: 23},
+			"replan-elided":  {NsPerOp: 10, AllocsPerOp: 0},
+			"plan-cache/hit": {NsPerOp: 400, AllocsPerOp: 4},
+		},
+	}
+	h := historyEntry(n)
+	if h.Timestamp != n.Timestamp || h.Note != n.Note || h.ScenariosPerSec != 640 {
+		t.Fatalf("header fields mangled: %+v", h)
+	}
+	if len(h.Allocs) != 3 || h.Allocs["replan"] != 23 || h.Allocs["replan-elided"] != 0 {
+		t.Fatalf("allocs map mangled: %+v", h.Allocs)
+	}
 }

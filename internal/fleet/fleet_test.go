@@ -3,7 +3,9 @@ package fleet
 import (
 	"encoding/json"
 	"fmt"
+	"slices"
 	"sort"
+	"strings"
 	"testing"
 )
 
@@ -175,6 +177,48 @@ func TestGeneratorRejectsBadConfig(t *testing.T) {
 	}
 	if _, _, err := Run(GeneratorConfig{}, 0, 1); err == nil {
 		t.Error("zero scenario count accepted")
+	}
+}
+
+// TestResolvePolicies pins the policy-list contract, in particular the
+// duplicate rejection that `fleetsim -policies heuristic,heuristic` must
+// hit: running the same strategy twice would silently skew every
+// per-policy aggregate, so it is an error, not a dedup.
+func TestResolvePolicies(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      []string
+		want    []string
+		wantErr string
+	}{
+		{name: "empty list gets the default", in: nil, want: []string{"heuristic"}},
+		{name: "valid list keeps order", in: []string{"minenergy", "heuristic"}, want: []string{"minenergy", "heuristic"}},
+		{name: "blank resolves to the default", in: []string{""}, want: []string{"heuristic"}},
+		{name: "explicit duplicate rejected", in: []string{"heuristic", "heuristic"}, wantErr: `fleet: policy "heuristic" listed twice`},
+		{name: "blank colliding with explicit default rejected", in: []string{"", "heuristic"}, wantErr: `fleet: policy "heuristic" listed twice`},
+		{name: "unknown policy rejected", in: []string{"no-such-policy"}, wantErr: "no-such-policy"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := resolvePolicies(tc.in)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(got, tc.want) {
+				t.Fatalf("resolvePolicies(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+	// The same rejection must surface through the generator, which is the
+	// path the fleetsim CLI takes.
+	if _, err := NewGenerator(GeneratorConfig{Policies: []string{"heuristic", "heuristic"}}); err == nil {
+		t.Error("generator accepted a duplicated policy list")
 	}
 }
 

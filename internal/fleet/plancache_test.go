@@ -1,0 +1,52 @@
+package fleet
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestPlanCacheEquivalence is the tentpole's correctness property at the
+// fleet layer for the plan-reuse tiers: a Runner whose workers share a
+// per-worker plan cache (and elide fingerprint-stable replans) must
+// produce results byte-identical to a Runner with DisablePlanCache — at
+// workers 1 and 8, across a mix of platforms, classes and policies. The
+// cache-on arm must also demonstrably reuse work, or the test is vacuous.
+func TestPlanCacheEquivalence(t *testing.T) {
+	cfg := GeneratorConfig{
+		Seed:     41,
+		Classes:  []Class{ClassSteady, ClassBursty, ClassThermal},
+		Policies: []string{"heuristic", "minenergy", "maxaccuracy"},
+	}
+	gen, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scens := gen.Generate(gen.RunCount(20))
+
+	off := &Runner{Workers: 1, DisablePlanCache: true}
+	want, err := json.Marshal(off.Run(scens))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := off.PlanCacheStats(); s.Elided != 0 || s.CacheHits != 0 || s.CacheMisses != 0 {
+		t.Fatalf("DisablePlanCache runner reused planning work: %+v", s)
+	}
+
+	for _, workers := range []int{1, 8} {
+		r := &Runner{Workers: workers}
+		got, err := json.Marshal(r.Run(scens))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("workers=%d: plan-cache results differ from no-reuse results", workers)
+		}
+		s := r.PlanCacheStats()
+		if s.Plans == 0 {
+			t.Fatalf("workers=%d: no plans recorded", workers)
+		}
+		if s.Elided == 0 && s.CacheHits == 0 {
+			t.Errorf("workers=%d: cache-on run reused nothing: %+v", workers, s)
+		}
+	}
+}

@@ -75,18 +75,28 @@ var latPool = sync.Pool{New: func() any { return new(latBufs) }}
 // of the scenario (fresh platform, fresh manager, no logging), which is
 // what makes fleet results independent of scheduling.
 func RunOne(s Scenario) Result {
-	r, _ := runOne(s, true, nil)
+	r, _, _ := runOne(s, runOpts{keepLatencies: true})
 	return r
 }
 
-// runOne is RunOne with control over whether the raw per-job Latencies
-// samples are published on the Result (dropping them keeps the scalar
-// mean/p95/max stats), and over engine reuse: a non-nil engine is Reset
-// for the scenario instead of constructed, and the engine actually used is
+// runOpts bundles the per-run knobs runOne threads through to
+// workload.RunEngineOpts: whether raw Latencies are published, which
+// engine to Reset instead of constructing, which plan cache the manager
+// uses, and whether plan reuse is disabled outright. None of them change
+// a result byte — TestEngineReuseEquivalence and
+// TestPlanCacheEquivalence pin that.
+type runOpts struct {
+	keepLatencies bool
+	eng           *sim.Engine
+	planCache     *rtm.PlanCache
+	noPlanReuse   bool
+}
+
+// runOne is RunOne with runOpts control. The engine actually used is
 // returned for the caller's next run (nil after a failed run, so a
-// poisoned engine is never reused). Reuse does not change a single result
-// byte — TestEngineReuseEquivalence pins that.
-func runOne(s Scenario, keepLatencies bool, eng *sim.Engine) (Result, *sim.Engine) {
+// poisoned engine is never reused), along with the manager's plan-reuse
+// counters for observability accumulation.
+func runOne(s Scenario, o runOpts) (Result, *sim.Engine, rtm.PlanStats) {
 	script := s.Script
 	if script.Policy == "" {
 		// Hand-built scenarios may set only the outer Policy field.
@@ -113,12 +123,15 @@ func runOne(s Scenario, keepLatencies bool, eng *sim.Engine) (Result, *sim.Engin
 	plat := hw.Catalog()[s.Platform]
 	if plat == nil {
 		res.Err = fmt.Sprintf("unknown platform %q", s.Platform)
-		return res, eng
+		return res, o.eng, rtm.PlanStats{}
 	}
-	eng, mgr, rep, err := workload.RunEngine(eng, script, plat, TickS, nil)
+	eng, mgr, rep, err := workload.RunEngineOpts(o.eng, script, plat, TickS, nil, workload.RunOptions{
+		PlanCache:        o.planCache,
+		DisablePlanReuse: o.noPlanReuse,
+	})
 	if err != nil {
 		res.Err = err.Error()
-		return res, nil
+		return res, nil, rtm.PlanStats{}
 	}
 
 	res.DurationS = rep.DurationS
@@ -161,13 +174,13 @@ func runOne(s Scenario, keepLatencies bool, eng *sim.Engine) (Result, *sim.Engin
 		res.P95LatencyS = percentileSorted(sorted, 0.95)
 		res.MaxLatencyS = sorted[len(sorted)-1]
 	}
-	if keepLatencies && len(raw) > 0 {
+	if o.keepLatencies && len(raw) > 0 {
 		// Publish an exact-size copy in event order: the pooled buffer
 		// never escapes, and append-growth slack never reaches the Result.
 		res.Latencies = make([]float64, len(raw))
 		copy(res.Latencies, raw)
 	}
-	return res, eng
+	return res, eng, mgr.PlanStats()
 }
 
 // percentileSorted returns the p-quantile (true nearest-rank, rank =
@@ -235,6 +248,65 @@ type Runner struct {
 	// same prefix-complete order a sequential run would produce. Calls are
 	// serialized but may arrive from any worker goroutine.
 	OnResult func(index int, r Result)
+	// DisablePlanCache turns off replan elision and plan memoisation in
+	// every scenario's manager (the fleetsim -plancache=false switch).
+	// Results are byte-identical either way — the switch exists so CI can
+	// prove exactly that, and so regressions can be bisected against the
+	// reuse-free path.
+	DisablePlanCache bool
+
+	// planStats accumulates every run's plan-reuse counters across this
+	// Runner's lifetime (all Run calls). It sits behind a pointer so the
+	// Runner itself stays a plain copyable value: the streaming path
+	// copies a caller's Runner to rewire OnResult, and a shared
+	// accumulator is exactly what that copy should inherit.
+	planStats *planStatsAccum
+}
+
+// planStatsAccum is the mutex-guarded plan-reuse counter shared by every
+// copy of a Runner.
+type planStatsAccum struct {
+	mu sync.Mutex
+	s  rtm.PlanStats
+}
+
+// PlanCacheStats reports the accumulated plan-reuse counters of every
+// scenario this Runner has executed. The totals are observability only:
+// how work splits between elision, cache hits and fresh plans depends on
+// how scenarios landed on workers, so these numbers never enter reports.
+func (r *Runner) PlanCacheStats() rtm.PlanStats {
+	if r.planStats == nil {
+		return rtm.PlanStats{}
+	}
+	r.planStats.mu.Lock()
+	defer r.planStats.mu.Unlock()
+	return r.planStats.s
+}
+
+// addPlanStats folds one worker's accumulated counters into the runner's.
+func (r *Runner) addPlanStats(s rtm.PlanStats) {
+	r.planStats.mu.Lock()
+	r.planStats.s.Add(s)
+	r.planStats.mu.Unlock()
+}
+
+// ensurePlanStats lazily installs the shared accumulator. Called from the
+// single-threaded entry of Run (and before the streaming path copies the
+// Runner), so later copies share one accumulator with the original.
+func (r *Runner) ensurePlanStats() {
+	if r.planStats == nil {
+		r.planStats = &planStatsAccum{}
+	}
+}
+
+// workerPlanCache builds the per-worker plan memo cache — one cache per
+// scenario stream, shared across that worker's runs so recurring planning
+// states hit across scenario boundaries — or nil when reuse is disabled.
+func (r *Runner) workerPlanCache() *rtm.PlanCache {
+	if r.DisablePlanCache {
+		return nil
+	}
+	return rtm.NewPlanCache(rtm.DefaultPlanCacheCap)
 }
 
 // Run executes all scenarios and returns results indexed by scenario
@@ -244,6 +316,7 @@ type Runner struct {
 // scenarios — the engine-construction allocations are paid once per
 // worker, not once per scenario.
 func (r *Runner) Run(scenarios []Scenario) []Result {
+	r.ensurePlanStats()
 	results := make([]Result, len(scenarios))
 	workers := r.Workers
 	if workers <= 0 {
@@ -253,9 +326,16 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 		workers = len(scenarios)
 	}
 	if workers <= 1 {
-		var eng *sim.Engine
+		o := runOpts{
+			keepLatencies: !r.DropLatencies,
+			planCache:     r.workerPlanCache(),
+			noPlanReuse:   r.DisablePlanCache,
+		}
+		var stats rtm.PlanStats
 		for i, s := range scenarios {
-			results[i], eng = runOne(s, !r.DropLatencies, eng)
+			var ps rtm.PlanStats
+			results[i], o.eng, ps = runOne(s, o)
+			stats.Add(ps)
 			if r.OnResult != nil {
 				r.OnResult(i, results[i])
 			}
@@ -263,6 +343,7 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 				r.Progress(i+1, len(scenarios))
 			}
 		}
+		r.addPlanStats(stats)
 		return results
 	}
 	// emit tracks in-order delivery for OnResult: ready marks finished
@@ -286,13 +367,21 @@ func (r *Runner) Run(scenarios []Scenario) []Result {
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			var eng *sim.Engine
+			o := runOpts{
+				keepLatencies: !r.DropLatencies,
+				planCache:     r.workerPlanCache(),
+				noPlanReuse:   r.DisablePlanCache,
+			}
+			var stats rtm.PlanStats
+			defer func() { r.addPlanStats(stats) }()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(scenarios) {
 					return
 				}
-				results[i], eng = runOne(scenarios[i], !r.DropLatencies, eng)
+				var ps rtm.PlanStats
+				results[i], o.eng, ps = runOne(scenarios[i], o)
+				stats.Add(ps)
 				if r.OnResult != nil {
 					emitMu.Lock()
 					ready[i] = true

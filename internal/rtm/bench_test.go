@@ -82,7 +82,36 @@ func BenchmarkPolicyPlan(b *testing.B) {
 // BenchmarkReplan measures the full manager path — view construction,
 // policy planning and actuation against a live engine — for the default
 // heuristic; the Plan-only benchmark above isolates the policy share.
+// Plan reuse is disabled: on a quiescent engine every iteration after the
+// first would otherwise be elided, and this benchmark exists to track the
+// cost of a real plan (BenchmarkReplanElided tracks the fast path).
 func BenchmarkReplan(b *testing.B) {
+	mgr, e := benchReplanSetup(b)
+	mgr.NoPlanReuse = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mgr.Replan(e)
+	}
+}
+
+// BenchmarkReplanElided measures the fingerprint-stable fast path: after
+// an actuated fixed point, a Replan on a quiescent engine is a fingerprint
+// compare and a counter bump.
+func BenchmarkReplanElided(b *testing.B) {
+	mgr, e := benchReplanSetup(b)
+	mgr.Replan(e) // reach the actuated fixed point
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mgr.Replan(e)
+	}
+	if s := mgr.PlanStats(); s.Elided < b.N {
+		b.Fatalf("only %d of %d replans elided", s.Elided, b.N)
+	}
+}
+
+func benchReplanSetup(b *testing.B) (*Manager, *sim.Engine) {
 	prof := mobileProfile()
 	mgr := NewManager(map[string]Requirement{"d": {MinAccuracy: 0.70, Priority: 1}})
 	e, err := sim.New(sim.Config{
@@ -98,11 +127,7 @@ func BenchmarkReplan(b *testing.B) {
 	if err := e.Run(1); err != nil {
 		b.Fatal(err)
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		mgr.Replan(e)
-	}
+	return mgr, e
 }
 
 // Example of addressing policies through the registry, for the doc page.

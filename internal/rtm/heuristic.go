@@ -23,7 +23,10 @@ import "github.com/emlrtm/emlrtm/internal/sim"
 // DVFS pacing: within a feasible point the lowest OPP meeting the budget
 // wins — pacing beats race-to-idle under a CV²f power model (contrast
 // minEnergyPolicy, which races).
-type heuristicPolicy struct{}
+type heuristicPolicy struct{ epochKeyed }
+
+// planCacheID implements cacheKeyed.
+func (heuristicPolicy) planCacheID() string { return "heuristic" }
 
 // Name implements Policy.
 func (heuristicPolicy) Name() string { return "heuristic" }

@@ -3,6 +3,7 @@ package rtm
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"os"
 	"sort"
@@ -287,7 +288,13 @@ func StateKey(v *View) string {
 // thermalBucket classifies the headroom between the die and the effective
 // throttle point (margin included): <3 °C hot, <10 °C warm, else cool.
 func thermalBucket(v *View) int {
-	headC := v.ThrottleC - v.MarginC - v.TempC
+	return thermalBucketOf(v.ThrottleC - v.MarginC - v.TempC)
+}
+
+// thermalBucketOf is the headroom → bucket mapping shared by the View
+// path and the live-engine fingerprint path; both must discretise
+// identically or elision could reuse a plan the policy would not repeat.
+func thermalBucketOf(headC float64) int {
 	switch {
 	case headC < 3:
 		return 0
@@ -341,6 +348,12 @@ func slackBucket(v *View) int {
 			worst = slack
 		}
 	}
+	return slackBucketOf(worst)
+}
+
+// slackBucketOf maps a worst relative slack to its bucket (shared with
+// the live-engine fingerprint path, like thermalBucketOf).
+func slackBucketOf(worst float64) int {
 	switch {
 	case math.IsInf(worst, 1):
 		return stateSlackBuckets - 1
@@ -465,6 +478,76 @@ func (p *learnedPolicy) planInto(v *View, sc *planScratch) []Assignment {
 		return sp.planInto(v, sc)
 	}
 	return arm.Plan(*v)
+}
+
+// ---- Plan-reuse seams ----
+//
+// The learned policy opts into both reuse tiers, but unlike the built-ins
+// its plan depends on more than the epoch-tracked View: the thermal and
+// slack buckets read continuously-moving observables (die temperature,
+// per-app average latency). Elision therefore folds those buckets —
+// discretised exactly as StateKey would see them — into the dynamic
+// fingerprint, and memoisation keys on the chosen arm (plus a content
+// hash of the table, so only byte-identical tables share entries).
+
+// learnedIDCache memoises planCacheID per table pointer. Tables are
+// immutable after load and shared process-wide (learnedTableCache), so
+// hashing each one once is enough.
+var learnedIDCache sync.Map
+
+// planCacheID implements cacheKeyed: a content hash of the trained table,
+// so two managers running byte-identical tables (however they were
+// loaded) share plan cache entries, while different tables never collide.
+// Returns "" — disabling memoisation — if the table fails to marshal.
+func (p *learnedPolicy) planCacheID() string {
+	if id, ok := learnedIDCache.Load(p.table); ok {
+		return id.(string)
+	}
+	raw, err := p.table.MarshalBytes()
+	if err != nil {
+		return ""
+	}
+	h := fnv.New64a()
+	h.Write(raw)
+	id := LearnedParamPrefix + "/" + strconv.FormatUint(h.Sum64(), 16)
+	actual, _ := learnedIDCache.LoadOrStore(p.table, id)
+	return actual.(string)
+}
+
+// appendPlanKey implements cacheKeyed: beyond the canonical View fields
+// the manager serialises, the plan depends only on which arm the table
+// selects — so the key appends the chosen arm name rather than the raw
+// state key. Distinct states that resolve to the same arm then share
+// cache entries, which is both correct (the arm fully determines the
+// plan given the View) and strictly better for the hit rate.
+func (p *learnedPolicy) appendPlanKey(b []byte, v View) []byte {
+	return appendStr(b, p.table.Choose(StateKey(&v)))
+}
+
+// dynFingerprint implements fingerprinted: the thermal and slack buckets
+// computed from live engine state, bit-for-bit as the View path would
+// discretise them. The remaining StateKey inputs (power bucket, DNN
+// count) are fully determined by epoch-tracked state plus the manager
+// fields already in the fingerprint, so they need no re-derivation here.
+func (p *learnedPolicy) dynFingerprint(e *sim.Engine, m *Manager) uint64 {
+	margin := m.BaseMarginC + float64(m.Pressure())*m.PressureStepC
+	tb := thermalBucketOf(e.ThrottleC() - margin - e.Temperature())
+	worst := math.Inf(1)
+	for i, n := 0, e.AppCount(); i < n; i++ {
+		a := e.AppAt(i)
+		if !a.Running || a.Kind != sim.KindDNN {
+			continue
+		}
+		budget := m.Requirement(a.Name, a.PeriodS).MaxLatencyS
+		if budget <= 0 {
+			continue
+		}
+		if slack := (budget - a.AvgLatency) / budget; slack < worst {
+			worst = slack
+		}
+	}
+	sb := slackBucketOf(worst)
+	return uint64(tb)<<8 | uint64(sb)
 }
 
 func init() {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/emlrtm/emlrtm/internal/hw"
 	"github.com/emlrtm/emlrtm/internal/sim"
 )
 
@@ -65,6 +66,12 @@ type Manager struct {
 	// tick would churn without changing the plan.
 	MissReplanBackoffS float64
 
+	// NoPlanReuse disables both plan-reuse tiers (replan elision and the
+	// plan memo cache): every Replan rebuilds the view and re-runs the
+	// policy. Reuse is byte-identical by construction; this switch exists
+	// so equivalence tests and the CI determinism check can prove it.
+	NoPlanReuse bool
+
 	policy       Policy
 	registry     *Registry
 	pressure     int
@@ -74,6 +81,22 @@ type Manager struct {
 	last         []Assignment
 	lastView     View
 	lastMissPlan float64
+
+	// Plan-reuse state: version counters folded into the elision
+	// fingerprint, the fingerprint of the last actuated plan (valid only
+	// while lastFPOK — i.e. the last actuation was a fixed point), the
+	// memo cache and its counters, and the reused key buffers.
+	reqsVer     uint64
+	policyVer   uint64
+	lastFP      planFingerprint
+	lastFPOK    bool
+	elided      int
+	cacheHits   int
+	cacheMisses int
+	planCache   *PlanCache
+	keyBuf      []byte
+	platKeyBuf  []byte
+	platKeyFor  *hw.Platform
 
 	// Replan scratch: the manager replans every controller tick, so the
 	// planning input (engine snapshot + view), the defensive policy copy,
@@ -115,6 +138,7 @@ func (m *Manager) SetPolicy(p Policy) {
 		return
 	}
 	m.policy = p
+	m.policyVer++
 	m.pending = true
 }
 
@@ -126,6 +150,7 @@ func (m *Manager) PolicyName() string { return m.policy.Name() }
 // and schedules a replan.
 func (m *Manager) SetRequirement(app string, r Requirement) {
 	m.reqs[app] = r
+	m.reqsVer++
 	m.pending = true
 }
 
@@ -140,6 +165,21 @@ func (m *Manager) Requirement(app string, periodS float64) Requirement {
 
 // Plans returns how many replans have executed.
 func (m *Manager) Plans() int { return m.plans }
+
+// PlanStats reports the manager's plan-reuse counters: total replans,
+// elided replans, and memo cache hits/misses. The counters are
+// observability only — they never enter simulation reports, whose bytes
+// must not depend on cache state.
+func (m *Manager) PlanStats() PlanStats {
+	return PlanStats{Plans: m.plans, Elided: m.elided, CacheHits: m.cacheHits, CacheMisses: m.cacheMisses}
+}
+
+// SetPlanCache installs a plan memo cache, replacing the manager-owned
+// one. A fleet worker shares one cache across its whole scenario stream
+// this way — recurring (policy, platform, app-set, budget) states hit
+// across scenario boundaries. The cache is not goroutine-safe; callers
+// must not share one across concurrently running managers.
+func (m *Manager) SetPlanCache(c *PlanCache) { m.planCache = c }
 
 // LastPlan returns a copy of the most recent set of assignments.
 func (m *Manager) LastPlan() []Assignment { return append([]Assignment(nil), m.last...) }
@@ -230,8 +270,41 @@ func (m *Manager) buildView(e *sim.Engine) View {
 	return v
 }
 
+// fingerprint builds the elision key for the current policy, or ok=false
+// when the policy has not opted into elision (or reuse is disabled).
+func (m *Manager) fingerprint(e *sim.Engine) (planFingerprint, bool) {
+	if m.NoPlanReuse {
+		return planFingerprint{}, false
+	}
+	fpr, ok := m.policy.(fingerprinted)
+	if !ok {
+		return planFingerprint{}, false
+	}
+	return planFingerprint{
+		epoch:      e.PlanEpoch(),
+		reqsVer:    m.reqsVer,
+		policyVer:  m.policyVer,
+		pressure:   m.pressure,
+		baseMargin: math.Float64bits(m.BaseMarginC),
+		pressStep:  math.Float64bits(m.PressureStepC),
+		dyn:        fpr.dynFingerprint(e, m),
+	}, true
+}
+
 // Replan recomputes and actuates assignments for every running DNN app:
 // build the view, delegate planning to the policy, actuate the plan.
+//
+// Two reuse tiers sit in front of the policy, both byte-identical to
+// planning fresh. Elision: when the planning fingerprint is unchanged
+// since the last plan AND that plan actuated as a fixed point (actuation
+// changed nothing, so engine state equals the plan's targets), planning
+// would reproduce the same plan and actuation would no-op — skip all of
+// it. The fixed-point condition is essential: a plan the engine could not
+// fully realise (a failed migration, an oscillating policy) must keep
+// replanning. Memoisation: otherwise, an exact canonical key over every
+// View field the policy can read looks up a previous plan, skipping the
+// policy invocation but still actuating. Counters (LastPlan, LastView,
+// Plans, miss reset) behave identically on every path.
 func (m *Manager) Replan(e *sim.Engine) {
 	m.pending = false
 	m.misses = 0
@@ -241,18 +314,53 @@ func (m *Manager) Replan(e *sim.Engine) {
 		m.buildRegistry(e)
 	}
 
+	fp, fpOK := m.fingerprint(e)
+	if fpOK && m.lastFPOK && fp == m.lastFP {
+		m.elided++
+		return
+	}
+
 	v := m.buildView(e)
-	// The policy gets its own clone: a policy that scribbles on its
-	// View's runtime state cannot corrupt the copy actuation and
-	// LastView read from. Built-in policies additionally plan through the
-	// manager-owned scratch buffers (the allocation-free hot path);
-	// third-party policies go through the public Plan contract.
-	v.CloneInto(&m.policyView)
 	var plan []Assignment
-	if sp, ok := m.policy.(scratchPlanner); ok {
-		plan = sp.planInto(&m.policyView, &m.scratch)
-	} else {
-		plan = m.policy.Plan(m.policyView)
+	hit := false
+	ck, canCache := m.policy.(cacheKeyed)
+	var cacheID string
+	if canCache && !m.NoPlanReuse {
+		cacheID = ck.planCacheID()
+	}
+	if cacheID != "" {
+		if m.planCache == nil {
+			m.planCache = NewPlanCache(DefaultPlanCacheCap)
+		}
+		key := m.buildPlanKey(&v, cacheID, ck)
+		if cached, ok := m.planCache.get(key); ok {
+			m.cacheHits++
+			hit = true
+			// Copy out through the scratch plan buffer: the cached entry
+			// stays vandal-safe and the hot path stays allocation-free.
+			m.scratch.plan = append(m.scratch.plan[:0], cached...)
+			plan = m.scratch.plan
+		} else {
+			m.cacheMisses++
+		}
+	}
+	if !hit {
+		// The policy gets its own clone: a policy that scribbles on its
+		// View's runtime state cannot corrupt the copy actuation and
+		// LastView read from. Built-in policies additionally plan through
+		// the manager-owned scratch buffers (the allocation-free hot
+		// path); third-party policies go through the public Plan contract.
+		v.CloneInto(&m.policyView)
+		if sp, ok := m.policy.(scratchPlanner); ok {
+			plan = sp.planInto(&m.policyView, &m.scratch)
+		} else {
+			plan = m.policy.Plan(m.policyView)
+		}
+		if cacheID != "" {
+			// buildPlanKey's buffer is still valid: planning reads the
+			// view but never rewrites the key scratch.
+			m.planCache.put(m.keyBuf, plan)
+		}
 	}
 	// Publish into manager-owned storage *before* any callback can run:
 	// plan aliases the policy scratch and v aliases the snapshot scratch,
@@ -268,6 +376,13 @@ func (m *Manager) Replan(e *sim.Engine) {
 			asg.OPPIndex, asg.Pass, asg.LatencyS*1000, asg.DynPowMW)
 	}
 	m.actuate(e, v, plan)
+	// Arm elision for the next replan only if actuating this plan was a
+	// fixed point: no knob moved, so engine state now equals the plan's
+	// targets and an identical fingerprint implies an identical no-op
+	// replan. (fp was sampled before actuation; PlanEpoch moving past
+	// fp.epoch means actuation changed something.)
+	m.lastFP = fp
+	m.lastFPOK = fpOK && e.PlanEpoch() == fp.epoch
 }
 
 // actuate applies the plan through the knob layer: level reductions first

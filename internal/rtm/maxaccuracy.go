@@ -10,7 +10,10 @@ import "github.com/emlrtm/emlrtm/internal/sim"
 // clocks as fast as the thermal budget allows so the largest possible
 // level fits. Latency deadlines, accelerator duty/memory and the thermal
 // power budget still bind — the policy is aggressive, not unsafe.
-type maxAccuracyPolicy struct{}
+type maxAccuracyPolicy struct{ epochKeyed }
+
+// planCacheID implements cacheKeyed.
+func (maxAccuracyPolicy) planCacheID() string { return "maxaccuracy" }
 
 // Name implements Policy.
 func (maxAccuracyPolicy) Name() string { return "maxaccuracy" }

@@ -10,7 +10,10 @@ import "github.com/emlrtm/emlrtm/internal/sim"
 // energy policy the paper's pacing heuristic argues against under a CV²f
 // power model — registering it makes that argument measurable: a fleet
 // sweep puts pacing and racing side by side on identical workloads.
-type minEnergyPolicy struct{}
+type minEnergyPolicy struct{ epochKeyed }
+
+// planCacheID implements cacheKeyed.
+func (minEnergyPolicy) planCacheID() string { return "minenergy" }
 
 // Name implements Policy.
 func (minEnergyPolicy) Name() string { return "minenergy" }

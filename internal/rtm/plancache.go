@@ -1,0 +1,320 @@
+package rtm
+
+import (
+	"encoding/binary"
+	"math"
+
+	"github.com/emlrtm/emlrtm/internal/hw"
+	"github.com/emlrtm/emlrtm/internal/sim"
+)
+
+// This file is the plan-reuse layer: the fingerprint seam behind replan
+// elision and the exact-key memo cache behind plan memoisation. Both tiers
+// exist because a fleet sweep replans thousands of times per scenario and
+// revisits the same planning states constantly — paying for a decision
+// once and reusing it while the state class holds is the same amortisation
+// the paper's RTM applies to knob actuation.
+//
+// Correctness rests on two sealed, package-internal interfaces. A policy
+// participates only by implementing them, which keeps the reuse tiers
+// opt-in for the built-ins (whose read-sets are known exactly) and
+// automatically sealed off for third-party policies: an external Policy
+// cannot implement an unexported interface, so it always plans fresh.
+
+// PlanStats summarises one manager's plan-reuse behaviour.
+type PlanStats struct {
+	// Plans is the total number of Replan calls (elided ones included —
+	// an elided replan still counts as a plan, exactly as before).
+	Plans int `json:"plans"`
+	// Elided counts replans skipped entirely because the planning
+	// fingerprint was unchanged since the last actuated fixed point.
+	Elided int `json:"elided"`
+	// CacheHits / CacheMisses count plan memo cache lookups on the
+	// replans that were not elided.
+	CacheHits   int `json:"cacheHits"`
+	CacheMisses int `json:"cacheMisses"`
+}
+
+// Add accumulates other into s.
+func (s *PlanStats) Add(other PlanStats) {
+	s.Plans += other.Plans
+	s.Elided += other.Elided
+	s.CacheHits += other.CacheHits
+	s.CacheMisses += other.CacheMisses
+}
+
+// DefaultPlanCacheCap bounds the manager-owned plan memo cache. Planning
+// states recur heavily within a scenario and across a worker's scenario
+// stream; a few thousand distinct (policy, platform, app-set, budget)
+// states cover even a large fleet shard.
+const DefaultPlanCacheCap = 4096
+
+// planEntry is one cached plan in the LRU list.
+type planEntry struct {
+	key        string
+	plan       []Assignment
+	prev, next *planEntry
+}
+
+// PlanCache is a bounded exact-key LRU from canonical View keys to plans.
+// It is NOT goroutine-safe: a cache belongs to one manager (or one fleet
+// worker's scenario stream) at a time, mirroring how engines are owned.
+// Entries are defensive copies in both directions — put copies the plan
+// in, the manager copies hits out — so no caller can vandalise a cached
+// plan.
+type PlanCache struct {
+	capacity   int
+	entries    map[string]*planEntry
+	head, tail *planEntry // head = most recently used
+	hits       uint64
+	misses     uint64
+}
+
+// NewPlanCache builds an empty cache holding at most capacity plans
+// (capacity < 1 falls back to DefaultPlanCacheCap).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity < 1 {
+		capacity = DefaultPlanCacheCap
+	}
+	return &PlanCache{
+		capacity: capacity,
+		entries:  make(map[string]*planEntry),
+	}
+}
+
+// Len reports how many plans are cached.
+func (c *PlanCache) Len() int { return len(c.entries) }
+
+// Stats reports lifetime lookup counters.
+func (c *PlanCache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// get returns the cached plan for key and marks it most recently used.
+// The returned slice is the cache's own storage: callers must copy before
+// the entry can be evicted or must not retain it — the Manager copies
+// into its scratch immediately.
+func (c *PlanCache) get(key []byte) ([]Assignment, bool) {
+	// map[string]([]byte) lookups compile to an allocation-free form.
+	e, ok := c.entries[string(key)]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.moveToFront(e)
+	return e.plan, true
+}
+
+// put stores a copy of plan under a copy of key, evicting the least
+// recently used entry when full. Re-putting an existing key refreshes its
+// recency and contents.
+func (c *PlanCache) put(key []byte, plan []Assignment) {
+	if e, ok := c.entries[string(key)]; ok {
+		e.plan = append(e.plan[:0], plan...)
+		c.moveToFront(e)
+		return
+	}
+	var e *planEntry
+	if len(c.entries) >= c.capacity {
+		// Recycle the evicted tail entry's storage for the new plan.
+		e = c.tail
+		c.unlink(e)
+		delete(c.entries, e.key)
+		e.plan = e.plan[:0]
+	} else {
+		e = &planEntry{}
+	}
+	e.key = string(key)
+	e.plan = append(e.plan, plan...)
+	c.entries[e.key] = e
+	c.pushFront(e)
+}
+
+func (c *PlanCache) moveToFront(e *planEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *PlanCache) unlink(e *planEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *PlanCache) pushFront(e *planEntry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// ---- Sealed reuse seams ----
+
+// fingerprinted is the sealed seam behind replan elision: a policy whose
+// plan depends only on the engine's PlanEpoch-tracked state plus the
+// manager's thermal stance returns a constant; a policy that additionally
+// reads continuously-moving observables (the learned policy's thermal and
+// slack buckets) folds them — discretised exactly as its Plan would see
+// them — into the returned value. A policy that does not implement this
+// interface is never elided.
+type fingerprinted interface {
+	dynFingerprint(e *sim.Engine, m *Manager) uint64
+}
+
+// cacheKeyed is the sealed seam behind plan memoisation: planCacheID
+// names the policy's planning function identity (for the learned policy,
+// a content hash of its table — two managers running byte-identical
+// tables share cache entries; "" disables caching), and appendPlanKey
+// appends whatever the policy reads beyond the canonical View fields the
+// manager already serialises. A policy that does not implement this
+// interface is never memoised. The view crosses this boundary by value:
+// handing an interface callee a pointer into Replan's stack frame would
+// force the whole view to escape, putting an allocation back on the
+// replan hot path.
+type cacheKeyed interface {
+	planCacheID() string
+	appendPlanKey(b []byte, v View) []byte
+}
+
+// epochKeyed is embedded by built-in policies whose Plan reads only the
+// canonical View fields (requirements, platform, DynBudgetMW, per-app
+// identity/placement/level/profile): it declares an empty dynamic
+// fingerprint and key extension, opting the policy into both reuse tiers.
+type epochKeyed struct{}
+
+func (epochKeyed) dynFingerprint(*sim.Engine, *Manager) uint64 { return 0 }
+func (epochKeyed) appendPlanKey(b []byte, _ View) []byte       { return b }
+
+// planFingerprint is the elision key: comparable, cheap to build, and
+// covering every input Replan feeds the policy — the engine's planning
+// epoch, the manager's requirement and policy versions, the thermal
+// stance (pressure and margins, which set DynBudgetMW together with the
+// epoch-tracked ambient), and the policy's dynamic extension.
+type planFingerprint struct {
+	epoch      uint64
+	reqsVer    uint64
+	policyVer  uint64
+	pressure   int
+	baseMargin uint64
+	pressStep  uint64
+	dyn        uint64
+}
+
+// ---- Canonical View key construction ----
+
+func appendU64(b []byte, x uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, x)
+}
+
+func appendF64(b []byte, x float64) []byte {
+	return appendU64(b, math.Float64bits(x))
+}
+
+// appendStr appends a length-prefixed string so concatenated fields can
+// never alias each other.
+func appendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// appendPlatformKey serialises every hw.Platform field planning can read.
+// Platforms are static for an engine's lifetime, so the manager memoises
+// the result per platform pointer.
+func appendPlatformKey(b []byte, p *hw.Platform) []byte {
+	b = appendStr(b, p.Name)
+	b = binary.AppendUvarint(b, uint64(len(p.Clusters)))
+	for _, cl := range p.Clusters {
+		b = appendStr(b, cl.Name)
+		b = appendStr(b, string(cl.Type))
+		b = binary.AppendUvarint(b, uint64(cl.Cores))
+		b = binary.AppendUvarint(b, uint64(len(cl.OPPs)))
+		for _, opp := range cl.OPPs {
+			b = appendF64(b, opp.FreqGHz)
+			b = appendF64(b, opp.VoltageV)
+		}
+		b = appendF64(b, cl.Power.CeffMWPerV2GHz)
+		b = appendF64(b, cl.Power.StaticMW)
+		b = appendF64(b, cl.RateMACsPerSecGHz)
+		b = appendF64(b, cl.ParallelAlpha)
+		b = appendF64(b, cl.FixedOverheadS)
+		b = appendF64(b, cl.CompanionUtil)
+		b = appendStr(b, cl.CompanionName)
+		b = appendU64(b, uint64(cl.MemBytes))
+	}
+	return b
+}
+
+// platformKey returns the memoised canonical platform serialisation. The
+// cache is keyed by pointer: a manager binds one engine, and the fleet
+// catalog hands out fresh (but content-identical) platform values per
+// scenario, which the full content serialisation keeps collision-free
+// across the shared per-worker plan cache.
+func (m *Manager) platformKey(p *hw.Platform) []byte {
+	if m.platKeyFor != p {
+		m.platKeyBuf = appendPlatformKey(m.platKeyBuf[:0], p)
+		m.platKeyFor = p
+	}
+	return m.platKeyBuf
+}
+
+// buildPlanKey serialises the canonical planning inputs of a view into the
+// manager's reused key buffer: the policy identity, the power budget, the
+// full platform content, every app's planning-visible state (in view
+// order), every resolved DNN requirement, and the policy's own extension.
+// Fields a built-in policy cannot read — the clock, temperatures, per-app
+// statistics, cluster runtime state — are deliberately excluded: that is
+// what makes recurring states collide and the cache hit.
+func (m *Manager) buildPlanKey(v *View, id string, ck cacheKeyed) []byte {
+	b := m.keyBuf[:0]
+	b = appendStr(b, id)
+	b = appendF64(b, v.DynBudgetMW)
+	b = append(b, m.platformKey(v.Platform)...)
+	b = binary.AppendUvarint(b, uint64(len(v.Apps)))
+	for i := range v.Apps {
+		a := &v.Apps[i]
+		b = appendStr(b, a.Name)
+		b = binary.AppendUvarint(b, uint64(a.Kind))
+		if a.Running {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+		b = appendStr(b, a.Placement.Cluster)
+		b = binary.AppendUvarint(b, uint64(a.Placement.Cores))
+		b = binary.AppendUvarint(b, uint64(a.Level))
+		b = appendF64(b, a.PeriodS)
+		b = appendF64(b, a.Util)
+		b = appendU64(b, uint64(a.ModelBytes))
+		b = appendStr(b, a.Profile.Name)
+		b = binary.AppendUvarint(b, uint64(len(a.Profile.Levels)))
+		for _, l := range a.Profile.Levels {
+			b = appendU64(b, uint64(l.MACs))
+			b = appendF64(b, l.Accuracy)
+			b = appendF64(b, l.Confidence)
+			b = appendU64(b, uint64(l.MemBytes))
+		}
+		if a.Kind == sim.KindDNN {
+			r := v.Req(*a)
+			b = appendF64(b, r.MaxLatencyS)
+			b = appendF64(b, r.MinAccuracy)
+			b = appendU64(b, uint64(int64(r.Priority)))
+		}
+	}
+	b = ck.appendPlanKey(b, *v)
+	m.keyBuf = b
+	return b
+}

@@ -29,7 +29,14 @@ func (e *Engine) Ambient() float64 { return e.ambient }
 // disturbance: the device moving into a pocket or sunlight). The thermal
 // trajectory and any pending throttle alarm are re-derived.
 func (e *Engine) SetAmbient(c float64) {
+	if c == e.ambient {
+		return
+	}
 	e.ambient = c
+	// Ambient feeds the thermal power budget planners work against, so it
+	// advances the planning epoch; the utilisation/rate caches never read
+	// it and stay valid.
+	e.planEpoch++
 	e.refresh()
 }
 
@@ -40,10 +47,27 @@ func (e *Engine) Platform() *hw.Platform { return e.plat }
 func (e *Engine) TotalPowerMW() float64 {
 	total := 0.0
 	for _, cs := range e.clusterList {
-		total += cs.c.BusyPowerMW(cs.c.OPPs[cs.oppIdx], cs.c.Cores, e.clusterUtilOf(cs))
+		total += e.clusterPowerMW(cs)
 	}
 	return total
 }
+
+// PlanEpoch is a monotone counter over planning-relevant engine state:
+// the running-app set, model levels, placements, per-cluster OPPs and the
+// ambient temperature. Two calls returning the same value guarantee that
+// every View field a planning policy derives from that state is unchanged
+// — the cheap dirty check behind the rtm manager's replan elision.
+// Continuously-moving observables (clock, die temperature, per-app
+// latency statistics) are deliberately outside it.
+func (e *Engine) PlanEpoch() uint64 { return e.planEpoch }
+
+// AppCount returns the number of configured apps.
+func (e *Engine) AppCount() int { return len(e.appList) }
+
+// AppAt returns the observable state of the app at index i in creation
+// order — the allocation-free counterpart of Apps for callers walking the
+// app set.
+func (e *Engine) AppAt(i int) AppInfo { return e.appInfo(e.appList[i]) }
 
 // AppInfo is the observable state of one app — application monitors
 // (frame latency, misses) plus current knob settings.
@@ -150,7 +174,7 @@ func (e *Engine) clusterInfoInto(cs *clusterState, info *ClusterInfo) {
 		Util:     e.clusterUtilOf(cs),
 		EnergyMJ: cs.energy,
 	}
-	info.PowerMW = cs.c.BusyPowerMW(cs.c.OPPs[cs.oppIdx], cs.c.Cores, info.Util)
+	info.PowerMW = cs.cachedPow
 	for _, a := range e.appList {
 		if a.started && !a.stopped && a.placed.Cluster == cs.c.Name {
 			residents = append(residents, a.Name)
@@ -269,6 +293,9 @@ func (e *Engine) SetLevel(app string, level int) error {
 		}
 	}
 	a.level = level
+	// A level change is planning-relevant (and alters the next release's
+	// workload) but touches nothing the utilisation/rate caches read.
+	e.planEpoch++
 	e.levelSwaps++
 	e.refresh()
 	return nil
@@ -288,6 +315,8 @@ func (e *Engine) SetOPP(cluster string, idx int) error {
 		return nil
 	}
 	cs.oppIdx = idx
+	e.stateVer++
+	e.planEpoch++
 	e.oppSwitches++
 	e.refresh()
 	return nil
@@ -334,9 +363,15 @@ func (e *Engine) Migrate(app string, to Placement) error {
 	}
 	from := a.placed
 	a.placed = to
+	a.placedCS = e.clusters[to.Cluster]
 	if a.Kind == KindDNN {
 		a.blockedUntil = e.now + e.mig.Downtime(e.levelBytes(a))
+		if a.blockedUntil > e.maxBlockedUntil {
+			e.maxBlockedUntil = a.blockedUntil
+		}
 	}
+	e.stateVer++
+	e.planEpoch++
 	e.migrations++
 	if e.logEvents {
 		e.eventLog = append(e.eventLog, Event{TimeS: e.now, Kind: EvMigrated, App: app,

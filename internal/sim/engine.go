@@ -137,7 +137,7 @@ func (e *Engine) advanceTo(t float64) {
 	totalMW := 0.0
 	for _, cs := range e.clusterList {
 		util := e.clusterUtilOf(cs)
-		pw := cs.c.BusyPowerMW(cs.c.OPPs[cs.oppIdx], cs.c.Cores, util)
+		pw := cs.cachedPow
 		cs.lastPow = pw
 		cs.energy += pw * dt
 		if util > 0 {
@@ -178,7 +178,16 @@ func (e *Engine) advanceTo(t float64) {
 	if e.alarmed && tempAfter < e.plat.Thermal.ThrottleC-2 {
 		e.alarmed = false
 	}
+	prev := e.now
 	e.now = t
+	// The cached utilisations and rates were computed under the old clock.
+	// They only read it through the blocked-until predicates, so advancing
+	// time invalidates them solely while some migration downtime window is
+	// still open — in steady state the caches survive the advance and the
+	// post-event refresh reuses them.
+	if prev < e.maxBlockedUntil {
+		e.stateVer++
+	}
 }
 
 // clusterUtil computes the aggregate dynamic-power utilisation fraction of
@@ -188,11 +197,31 @@ func (e *Engine) clusterUtil(name string) float64 {
 	return e.clusterUtilOf(e.clusters[name])
 }
 
-// clusterUtilOf computes a cluster's utilisation: resident DNN jobs run
-// their cores flat out, render and background apps contribute their
+// clusterUtilOf returns a cluster's utilisation through the derived-value
+// cache, recomputing only when the state version moved. The matching busy
+// power is computed and cached alongside — every hot caller that needs one
+// needs the other within the same piecewise-constant segment.
+func (e *Engine) clusterUtilOf(cs *clusterState) float64 {
+	if cs.utilVer != e.stateVer {
+		cs.cachedUtil = e.computeClusterUtil(cs)
+		cs.cachedPow = cs.c.BusyPowerMW(cs.c.OPPs[cs.oppIdx], cs.c.Cores, cs.cachedUtil)
+		cs.utilVer = e.stateVer
+	}
+	return cs.cachedUtil
+}
+
+// clusterPowerMW returns the cluster's instantaneous busy power via the
+// same cache as clusterUtilOf.
+func (e *Engine) clusterPowerMW(cs *clusterState) float64 {
+	e.clusterUtilOf(cs)
+	return cs.cachedPow
+}
+
+// computeClusterUtil computes a cluster's utilisation: resident DNN jobs
+// run their cores flat out, render and background apps contribute their
 // configured utilisation, and accelerator inference induces CompanionUtil
 // on the companion cluster.
-func (e *Engine) clusterUtilOf(cs *clusterState) float64 {
+func (e *Engine) computeClusterUtil(cs *clusterState) float64 {
 	name := cs.c.Name
 	util := 0.0
 	for _, a := range e.appList {
@@ -203,7 +232,7 @@ func (e *Engine) clusterUtilOf(cs *clusterState) float64 {
 		case KindDNN:
 			if a.jobActive && e.now >= a.blockedUntil {
 				if cs.c.Type.IsAccelerator() {
-					util += e.acceleratorDNNShare(name)
+					util += e.acceleratorDNNShare(cs)
 				} else {
 					util += float64(a.placed.Cores) / float64(cs.c.Cores)
 				}
@@ -217,11 +246,14 @@ func (e *Engine) clusterUtilOf(cs *clusterState) float64 {
 		}
 	}
 	// Companion load induced by accelerators hosting active DNN jobs.
-	for _, cl := range e.plat.Clusters {
+	// clusterList follows platform order, so the accumulation order is
+	// identical to iterating e.plat.Clusters.
+	for _, ocs := range e.clusterList {
+		cl := ocs.c
 		if cl.CompanionName != name || cl.CompanionUtil == 0 {
 			continue
 		}
-		if e.anyActiveDNN(cl.Name) {
+		if e.anyActiveDNN(ocs) {
 			util += cl.CompanionUtil
 		}
 	}
@@ -232,8 +264,17 @@ func (e *Engine) clusterUtilOf(cs *clusterState) float64 {
 }
 
 // acceleratorDNNShare returns the fraction of the accelerator each active
-// DNN job uses: active jobs share whatever render apps leave.
-func (e *Engine) acceleratorDNNShare(cluster string) float64 {
+// DNN job uses (cached per state version): active jobs share whatever
+// render apps leave.
+func (e *Engine) acceleratorDNNShare(cs *clusterState) float64 {
+	if cs.shareVer != e.stateVer {
+		cs.cachedShare = e.computeAcceleratorDNNShare(cs.c.Name)
+		cs.shareVer = e.stateVer
+	}
+	return cs.cachedShare
+}
+
+func (e *Engine) computeAcceleratorDNNShare(cluster string) float64 {
 	renderUtil := 0.0
 	active := 0
 	for _, a := range e.appList {
@@ -259,7 +300,15 @@ func (e *Engine) acceleratorDNNShare(cluster string) float64 {
 	return free / float64(active)
 }
 
-func (e *Engine) anyActiveDNN(cluster string) bool {
+func (e *Engine) anyActiveDNN(cs *clusterState) bool {
+	if cs.activeVer != e.stateVer {
+		cs.cachedActive = e.computeAnyActiveDNN(cs.c.Name)
+		cs.activeVer = e.stateVer
+	}
+	return cs.cachedActive
+}
+
+func (e *Engine) computeAnyActiveDNN(cluster string) bool {
 	for _, a := range e.appList {
 		if a.started && !a.stopped && a.placed.Cluster == cluster &&
 			a.Kind == KindDNN && a.jobActive && e.now >= a.blockedUntil {
@@ -269,15 +318,24 @@ func (e *Engine) anyActiveDNN(cluster string) bool {
 	return false
 }
 
-// jobRate returns the MAC/s processing rate of an app's current job.
+// jobRate returns the MAC/s processing rate of an app's current job,
+// cached per state version.
 func (e *Engine) jobRate(a *appState) float64 {
+	if a.rateVer != e.stateVer {
+		a.cachedRate = e.computeJobRate(a)
+		a.rateVer = e.stateVer
+	}
+	return a.cachedRate
+}
+
+func (e *Engine) computeJobRate(a *appState) float64 {
 	if e.now < a.blockedUntil {
 		return 0
 	}
-	cs := e.clusters[a.placed.Cluster]
+	cs := a.placedCS
 	opp := cs.c.OPPs[cs.oppIdx]
 	if cs.c.Type.IsAccelerator() {
-		return cs.c.EffectiveRate(opp, cs.c.Cores) * e.acceleratorDNNShare(a.placed.Cluster)
+		return cs.c.EffectiveRate(opp, cs.c.Cores) * e.acceleratorDNNShare(cs)
 	}
 	return cs.c.EffectiveRate(opp, a.placed.Cores)
 }
@@ -289,6 +347,10 @@ func (e *Engine) handle(ev hevent) {
 	case hStart:
 		a := e.appList[ev.app]
 		a.started = true
+		// Dirty before emit: a controller reacting to the event must see
+		// fresh derived values and the new planning epoch.
+		e.stateVer++
+		e.planEpoch++
 		e.emit(Event{TimeS: e.now, Kind: EvAppStart, App: a.Name})
 		if a.Kind == KindDNN {
 			e.release(a)
@@ -297,6 +359,8 @@ func (e *Engine) handle(ev hevent) {
 		a := e.appList[ev.app]
 		a.stopped = true
 		a.jobActive = false
+		e.stateVer++
+		e.planEpoch++
 		e.emit(Event{TimeS: e.now, Kind: EvAppStop, App: a.Name})
 	case hRelease:
 		a := e.appList[ev.app]
@@ -318,7 +382,9 @@ func (e *Engine) handle(ev hevent) {
 			}
 		}
 	case hUnblock:
-		// No state change needed: rates recompute in refresh().
+		// No state change needed: the clock advance into the blocked-until
+		// boundary already invalidated the caches (see advanceTo), so rates
+		// recompute in refresh().
 	case hTick:
 		if e.ctrl != nil {
 			e.ctrl.OnTick(e)
@@ -352,10 +418,13 @@ func (e *Engine) release(a *appState) {
 		a.jobActive = true
 		a.jobReleaseS = e.now
 		a.jobRemaining = float64(a.Profile.Level(a.level).MACs)
+		// The job becoming active changes utilisations and shares; the rate
+		// below must be computed under the new state.
+		e.stateVer++
 		// Charge the per-inference fixed overhead (pre/post-processing) as
 		// work at the current rate, matching perf.InferenceLatencyS.
 		if rate := e.jobRate(a); rate > 0 {
-			a.jobRemaining += e.plat.Cluster(a.placed.Cluster).FixedOverheadS * rate
+			a.jobRemaining += a.placedCS.c.FixedOverheadS * rate
 		}
 	}
 	next := e.now + a.PeriodS
@@ -367,6 +436,7 @@ func (e *Engine) release(a *appState) {
 func (e *Engine) complete(a *appState) {
 	latency := e.now - a.jobReleaseS
 	a.jobActive = false
+	e.stateVer++
 	a.completed++
 	a.sumLatency += latency
 	if latency > a.maxLatency {

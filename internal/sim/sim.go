@@ -171,6 +171,15 @@ type appState struct {
 
 	blockedUntil float64 // migration downtime
 
+	// placedCS is the cluster state of the current placement — the hot
+	// loop resolves it once per migration instead of once per rate query.
+	placedCS *clusterState
+
+	// Derived-value cache (see Engine.stateVer): the job's MAC/s rate,
+	// valid while rateVer matches the engine's stateVer.
+	rateVer    uint64
+	cachedRate float64
+
 	// Stats.
 	released   int
 	completed  int
@@ -187,6 +196,19 @@ type clusterState struct {
 	energy  float64 // mJ
 	busyS   float64 // seconds with any activity
 	lastPow float64 // mW, for observability
+
+	// Derived-value caches (see Engine.stateVer). Between mutations the
+	// system is piecewise-constant, so utilisation, busy power, the
+	// accelerator DNN share and the any-active-DNN predicate are computed
+	// once per state version instead of once per caller. Each value is
+	// valid while its version tag matches the engine's stateVer.
+	utilVer      uint64
+	cachedUtil   float64
+	cachedPow    float64
+	shareVer     uint64
+	cachedShare  float64
+	activeVer    uint64
+	cachedActive bool
 }
 
 // Engine runs the simulation.
@@ -231,6 +253,26 @@ type Engine struct {
 	migrations  int
 	levelSwaps  int
 	oppSwitches int
+
+	// stateVer tags the derived-value caches (cluster utilisation/power,
+	// accelerator share, job rates). It advances on every mutation those
+	// values can observe — app lifecycle, job start/finish, OPP switches,
+	// migrations — and on clock advances while a migration downtime window
+	// is still open (the blocked-until predicates read the clock). A cache
+	// entry whose tag matches stateVer is exactly the value a fresh
+	// recomputation would produce, bit for bit.
+	stateVer uint64
+	// planEpoch is a monotone counter over planning-relevant state: the
+	// running-app set, model levels, placements, OPPs and ambient. The
+	// rtm manager uses it to elide replans when nothing a policy can act
+	// on has changed. Job-level churn (releases, completions) does not
+	// advance it — per-app statistics move continuously and policies that
+	// read them opt into their own fingerprint extension instead.
+	planEpoch uint64
+	// maxBlockedUntil is the high-water mark of migration downtime ends;
+	// once the clock passes it no blocked-until predicate can flip, so
+	// clock advances stop invalidating the caches.
+	maxBlockedUntil float64
 }
 
 // Config configures an Engine.
@@ -288,6 +330,9 @@ func (e *Engine) Reset(cfg Config) error {
 	e.overThrotS, e.overCritS, e.totalEnergy = 0, 0, 0
 	e.migrations, e.levelSwaps, e.oppSwitches = 0, 0, 0
 	e.maxTempC = cfg.Platform.AmbientC
+	// stateVer restarts at 1 so the version tags zeroed by the store
+	// rewrites below are invalid until first fill.
+	e.stateVer, e.planEpoch, e.maxBlockedUntil = 1, 0, 0
 
 	if e.apps == nil {
 		e.apps = make(map[string]*appState, len(cfg.Apps))
@@ -327,6 +372,7 @@ func (e *Engine) Reset(cfg Config) error {
 		}
 		e.appStore[i] = appState{App: a, idx: int32(i), placed: a.Placement, level: a.Level}
 		st := &e.appStore[i]
+		st.placedCS = e.clusters[a.Placement.Cluster]
 		e.apps[a.Name] = st
 		e.appList = append(e.appList, st)
 	}

@@ -198,6 +198,21 @@ func Run(s Scenario, plat *hw.Platform, tickS float64, logf func(string, ...any)
 	return RunEngine(nil, s, plat, tickS, logf)
 }
 
+// RunOptions carries plan-reuse wiring for RunEngineOpts. The zero value
+// is the default behaviour: the manager lazily owns its own plan cache
+// and both reuse tiers are active.
+type RunOptions struct {
+	// PlanCache, when non-nil, is installed as the manager's plan memo
+	// cache. A fleet worker passes one cache for its whole scenario
+	// stream so recurring planning states hit across scenarios, not just
+	// within one.
+	PlanCache *rtm.PlanCache
+	// DisablePlanReuse turns off replan elision and plan memoisation
+	// (rtm.Manager.NoPlanReuse) — the reuse-off arm of equivalence tests
+	// and the fleetsim -plancache=false switch.
+	DisablePlanReuse bool
+}
+
 // RunEngine is Run with engine reuse: a non-nil engine is Reset in place
 // for the scenario instead of constructed, which removes the per-run
 // engine-construction allocations — the point of a worker owning one
@@ -209,6 +224,13 @@ func Run(s Scenario, plat *hw.Platform, tickS float64, logf func(string, ...any)
 // scenario's Report must be consumed before the engine is reused — Reset
 // rewrites the event log the Report's Events field aliases.
 func RunEngine(e *sim.Engine, s Scenario, plat *hw.Platform, tickS float64, logf func(string, ...any)) (*sim.Engine, *rtm.Manager, sim.Report, error) {
+	return RunEngineOpts(e, s, plat, tickS, logf, RunOptions{})
+}
+
+// RunEngineOpts is RunEngine with plan-reuse wiring (see RunOptions).
+// Reuse never changes a report byte — the options only control whether
+// and where planning work is skipped.
+func RunEngineOpts(e *sim.Engine, s Scenario, plat *hw.Platform, tickS float64, logf func(string, ...any), opts RunOptions) (*sim.Engine, *rtm.Manager, sim.Report, error) {
 	pol := s.Planner
 	if pol == nil {
 		var err error
@@ -220,6 +242,10 @@ func RunEngine(e *sim.Engine, s Scenario, plat *hw.Platform, tickS float64, logf
 	mgr := rtm.NewManager(s.Reqs)
 	mgr.SetPolicy(pol)
 	mgr.Logf = logf
+	mgr.NoPlanReuse = opts.DisablePlanReuse
+	if opts.PlanCache != nil {
+		mgr.SetPlanCache(opts.PlanCache)
+	}
 	ctrl := NewScenarioController(mgr, s.Actions)
 	cfg := sim.Config{
 		Platform:   plat,
