@@ -51,6 +51,15 @@
 //
 //	fleetsim orchestrate -scenarios 1000 -seed 1 -shards 4 -out streams/
 //
+// -classes selects disturbance classes (steady, mixed, bursty, thermal,
+// churn, faulty); an unknown class fails with the valid set before any
+// simulation runs. The faulty class injects seeded hardware faults —
+// clusters dropping offline mid-run (and usually repairing), never all at
+// once — and its reports gain fault/recovery columns: cluster fails and
+// repairs, aborted jobs, unhosted app-seconds, mean recovery latency
+// (fault → first actuated replan), and the miss rate inside vs outside the
+// degraded windows.
+//
 // -nolat drops the raw per-job latency samples from results and shard
 // files — they dominate shard bytes, so million-scenario fleets run with
 // it. Per-scenario mean/p95/max stay exact; pooled group p95 degrades to
@@ -125,7 +134,7 @@ func runMain() {
 	seed := flag.Uint64("seed", 1, "master seed (per-scenario seeds derive from it)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = NumCPU)")
 	platforms := flag.String("platforms", "", "comma-separated platform names (empty = all)")
-	classes := flag.String("classes", "", "comma-separated scenario classes (empty = all)")
+	classes := flag.String("classes", "", "comma-separated scenario classes: steady,mixed,bursty,thermal,churn,faulty (empty = all)")
 	policy := flag.String("policy", "", "runtime-manager planning policy (empty = heuristic)")
 	policies := flag.String("policies", "", "comma-separated policies to sweep over the same workloads (total runs = scenarios × policies)")
 	format := flag.String("format", "json", "output format: json or table")
@@ -288,7 +297,7 @@ func orchestrateMain(args []string) {
 	seed := fs.Uint64("seed", 1, "master seed (per-scenario seeds derive from it)")
 	workers := fs.Int("workers", 0, "worker pool size per shard process (0 = NumCPU)")
 	platforms := fs.String("platforms", "", "comma-separated platform names (empty = all)")
-	classes := fs.String("classes", "", "comma-separated scenario classes (empty = all)")
+	classes := fs.String("classes", "", "comma-separated scenario classes: steady,mixed,bursty,thermal,churn,faulty (empty = all)")
 	policy := fs.String("policy", "", "runtime-manager planning policy (empty = heuristic)")
 	policies := fs.String("policies", "", "comma-separated policies to sweep over the same workloads")
 	nolat := fs.Bool("nolat", false, "drop raw per-job latency samples (forwarded to every shard)")
@@ -385,7 +394,17 @@ func buildConfig(seed uint64, platforms, classes, policy, policies string) (flee
 		cfg.Platforms = strings.Split(platforms, ",")
 	}
 	if classes != "" {
+		known := map[fleet.Class]bool{}
+		for _, c := range fleet.AllClasses() {
+			known[c] = true
+		}
 		for _, c := range strings.Split(classes, ",") {
+			// An unknown class must fail loudly before any simulation, with
+			// the valid set and a usage-style exit code.
+			if !known[fleet.Class(c)] {
+				fmt.Fprintf(os.Stderr, "fleetsim: unknown class %q (valid: %v)\n", c, fleet.AllClasses())
+				os.Exit(2)
+			}
 			cfg.Classes = append(cfg.Classes, fleet.Class(c))
 		}
 	}
@@ -521,6 +540,34 @@ func printTables(w io.Writer, rep fleet.Report) error {
 	}
 	if _, err := t.WriteTo(w); err != nil {
 		return err
+	}
+	// Groups that saw cluster faults get the recovery table: how much
+	// hardware was lost, how fast the manager replanned around it, and how
+	// QoS inside the degraded windows compares to outside them.
+	if rep.Overall.ClusterFails > 0 {
+		ft := trace.NewTable(
+			"fault recovery (degraded = frames released while any cluster was offline)",
+			"group", "fails", "repairs", "aborted", "unhosted(s)",
+			"recoveries", "meanRecov(s)", "degMiss%", "healthyMiss%")
+		addFaultRow := func(name string, s fleet.GroupStats) {
+			if s.ClusterFails == 0 {
+				return
+			}
+			ft.AddRow(name, s.ClusterFails, s.ClusterRepairs, s.JobsAborted,
+				s.UnhostedS, s.Recoveries, s.MeanRecoveryS,
+				100*s.DegradedMissRate, 100*s.HealthyMissRate)
+		}
+		addFaultRow("overall", rep.Overall)
+		for _, c := range classes {
+			addFaultRow("class:"+c, rep.ByClass[fleet.Class(c)])
+		}
+		for _, name := range sortedKeys(rep.ByPolicy) {
+			addFaultRow("policy:"+name, rep.ByPolicy[name])
+		}
+		fmt.Fprintln(w)
+		if _, err := ft.WriteTo(w); err != nil {
+			return err
+		}
 	}
 	if rep.Regret == nil {
 		return nil

@@ -38,6 +38,24 @@ type GroupStats struct {
 	Migrations  int `json:"migrations"`
 	LevelSwaps  int `json:"levelSwaps"`
 	OPPSwitches int `json:"oppSwitches"`
+
+	// Fault/recovery metrics, present only when the group saw cluster
+	// faults (omitempty keeps fault-free reports byte-identical to before).
+	// MeanRecoveryS averages the manager's fault→actuated-replan latency
+	// over Recoveries bursts. DegradedMissRate is the miss+drop+abort rate
+	// of frames released while any cluster was offline; HealthyMissRate is
+	// the same rate over the remaining frames — the inside/outside-window
+	// comparison. UnhostedS totals running-DNN app-seconds spent placed on
+	// dead hardware.
+	ClusterFails     int     `json:"clusterFails,omitempty"`
+	ClusterRepairs   int     `json:"clusterRepairs,omitempty"`
+	JobsAborted      int     `json:"jobsAborted,omitempty"`
+	UnhostedS        float64 `json:"unhostedS,omitempty"`
+	Recoveries       int     `json:"recoveries,omitempty"`
+	MeanRecoveryS    float64 `json:"meanRecoveryS,omitempty"`
+	DegradedFrames   int     `json:"degradedFrames,omitempty"`
+	DegradedMissRate float64 `json:"degradedMissRate,omitempty"`
+	HealthyMissRate  float64 `json:"healthyMissRate,omitempty"`
 }
 
 // RegretStats quantifies how far one swept policy sits from the
@@ -92,6 +110,10 @@ type group struct {
 	// approximated by the worst per-scenario p95.
 	scalarCount int
 	scalarP95   float64
+	// Fault accumulation feeding the finalised recovery metrics.
+	recoverTotalS float64
+	degMissed     int
+	degDropped    int
 }
 
 func (g *group) add(r Result) {
@@ -112,6 +134,15 @@ func (g *group) add(r Result) {
 	s.Migrations += r.Migrations
 	s.LevelSwaps += r.LevelSwaps
 	s.OPPSwitches += r.OPPSwitches
+	s.ClusterFails += r.ClusterFails
+	s.ClusterRepairs += r.ClusterRepairs
+	s.JobsAborted += r.JobsAborted
+	s.UnhostedS += r.UnhostedS
+	s.Recoveries += r.RecoverCount
+	s.DegradedFrames += r.DegradedFrames
+	g.recoverTotalS += r.RecoverTotalS
+	g.degMissed += r.DegradedMissed
+	g.degDropped += r.DegradedDropped
 	if r.MaxLatencyS > s.MaxLatencyS {
 		s.MaxLatencyS = r.MaxLatencyS
 	}
@@ -136,7 +167,24 @@ func (g *group) add(r Result) {
 func (g *group) finalise() GroupStats {
 	s := g.stats
 	if s.Frames > 0 {
-		s.MissRate = float64(s.Missed+s.Dropped) / float64(s.Frames)
+		// Aborted frames are QoS failures too; the term is zero (and the
+		// value byte-identical to before) on fault-free fleets.
+		s.MissRate = float64(s.Missed+s.Dropped+s.JobsAborted) / float64(s.Frames)
+	}
+	if s.Recoveries > 0 {
+		s.MeanRecoveryS = g.recoverTotalS / float64(s.Recoveries)
+	}
+	if s.DegradedFrames > 0 {
+		s.DegradedMissRate = float64(g.degMissed+g.degDropped) / float64(s.DegradedFrames)
+	}
+	// Healthy failures are total failures minus in-window ones: aborts of
+	// frames released before their cluster died land here by construction.
+	if healthy := s.Frames - s.DegradedFrames; healthy > 0 && s.DegradedFrames > 0 {
+		fails := s.Missed + s.Dropped + s.JobsAborted - g.degMissed - g.degDropped
+		if fails < 0 {
+			fails = 0
+		}
+		s.HealthyMissRate = float64(fails) / float64(healthy)
 	}
 	if n := len(g.latencies) + g.scalarCount; n > 0 {
 		s.MeanLatencyS = g.latSum / float64(n)
@@ -209,13 +257,15 @@ func Aggregate(seed uint64, results []Result) Report {
 	return rep
 }
 
-// missRate is a result's deadline-miss fraction, (missed+dropped)/
+// missRate is a result's deadline-miss fraction, (missed+dropped+aborted)/
 // released — the QoS scalar regret and the trainer's reward both score.
+// Aborted frames (cluster faults) fail QoS like any other lost frame; the
+// term is zero on fault-free runs.
 func missRate(r Result) float64 {
 	if r.Released == 0 {
 		return 0
 	}
-	return float64(r.Missed+r.Dropped) / float64(r.Released)
+	return float64(r.Missed+r.Dropped+r.JobsAborted) / float64(r.Released)
 }
 
 // workloadKey identifies one bit-identical sampled workload inside a

@@ -162,7 +162,7 @@ func TestRegretZeroForOracle(t *testing.T) {
 		if r.Released == 0 {
 			return 0
 		}
-		return float64(r.Missed+r.Dropped) / float64(r.Released)
+		return float64(r.Missed+r.Dropped+r.JobsAborted) / float64(r.Released)
 	}
 	type agg struct {
 		n                  int

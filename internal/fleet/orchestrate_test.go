@@ -49,8 +49,11 @@ func shardHelper(args []string) {
 		}
 	}
 	cfg := helperConfig(seed)
+	if mode == "runf" {
+		cfg = helperFaultyConfig(seed)
+	}
 	switch mode {
-	case "run":
+	case "run", "runf":
 		if _, err := ResumeShard(path, cfg, total, index, count, 1); err != nil {
 			die(err)
 		}
@@ -84,6 +87,13 @@ func shardHelper(args []string) {
 // use the same derivation.
 func helperConfig(seed uint64) GeneratorConfig {
 	return GeneratorConfig{Seed: seed, Platforms: []string{"odroid-xu3"}, Classes: []Class{ClassSteady}}
+}
+
+// helperFaultyConfig is the fault-injection counterpart ("runf" mode):
+// every scenario carries seeded cluster-fault windows, so a SIGKILL lands
+// mid-fault for the in-flight scenario.
+func helperFaultyConfig(seed uint64) GeneratorConfig {
+	return GeneratorConfig{Seed: seed, Platforms: []string{"odroid-xu3"}, Classes: []Class{ClassFaulty}}
 }
 
 // helperArgv builds the helper-process argv for CommandStart.

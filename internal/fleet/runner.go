@@ -52,6 +52,21 @@ type Result struct {
 	LevelSwaps  int `json:"levelSwaps"`
 	OPPSwitches int `json:"oppSwitches"`
 
+	// Fault accounting, present only for runs that saw cluster faults
+	// (omitempty keeps fault-free shard files byte-identical to before).
+	// RecoverTotalS sums the manager's fault→actuated-replan latencies over
+	// RecoverCount bursts; DegradedFrames/Missed/Dropped count frames
+	// released while any cluster was offline and their outcomes.
+	ClusterFails    int     `json:"clusterFails,omitempty"`
+	ClusterRepairs  int     `json:"clusterRepairs,omitempty"`
+	JobsAborted     int     `json:"jobsAborted,omitempty"`
+	UnhostedS       float64 `json:"unhostedS,omitempty"`
+	RecoverCount    int     `json:"recoverCount,omitempty"`
+	RecoverTotalS   float64 `json:"recoverTotalS,omitempty"`
+	DegradedFrames  int     `json:"degradedFrames,omitempty"`
+	DegradedMissed  int     `json:"degradedMissed,omitempty"`
+	DegradedDropped int     `json:"degradedDropped,omitempty"`
+
 	Latencies []float64 `json:"latencies,omitempty"`
 }
 
@@ -143,6 +158,17 @@ func runOne(s Scenario, o runOpts) (Result, *sim.Engine, rtm.PlanStats) {
 	res.Migrations = rep.Migrations
 	res.LevelSwaps = rep.LevelSwaps
 	res.OPPSwitches = rep.OPPSwitches
+	res.ClusterFails = rep.ClusterFails
+	res.ClusterRepairs = rep.ClusterRepairs
+	res.JobsAborted = rep.JobsAborted
+	res.UnhostedS = rep.UnhostedS
+	res.DegradedFrames = rep.DegradedFrames
+	res.DegradedMissed = rep.DegradedMissed
+	res.DegradedDropped = rep.DegradedDropped
+	for _, rec := range mgr.FaultRecoveries() {
+		res.RecoverCount++
+		res.RecoverTotalS += rec
+	}
 	for _, a := range rep.Apps {
 		if a.Kind != sim.KindDNN {
 			continue

@@ -47,11 +47,15 @@ const (
 	// ClassChurn: apps arrive/leave mid-run and a requirement changes (the
 	// Fig 2 t=25 event).
 	ClassChurn Class = "churn"
+	// ClassFaulty: clusters drop offline mid-run (and usually come back) —
+	// the hardware-fault disturbance. Never all clusters at once, so a
+	// graceful policy always has somewhere to degrade to.
+	ClassFaulty Class = "faulty"
 )
 
 // AllClasses lists every built-in class in generation order.
 func AllClasses() []Class {
-	return []Class{ClassSteady, ClassMixed, ClassBursty, ClassThermal, ClassChurn}
+	return []Class{ClassSteady, ClassMixed, ClassBursty, ClassThermal, ClassChurn, ClassFaulty}
 }
 
 // Scenario is one generated fleet member: a scripted workload bound to a
@@ -135,7 +139,7 @@ func NewGenerator(cfg GeneratorConfig) (*Generator, error) {
 		}
 		for _, c := range cfg.Classes {
 			if !known[c] {
-				return nil, fmt.Errorf("fleet: unknown class %q", c)
+				return nil, fmt.Errorf("fleet: unknown class %q (valid: %v)", c, AllClasses())
 			}
 		}
 		g.classes = cfg.Classes
@@ -418,6 +422,26 @@ func (g *Generator) script(rng *rand.Rand, class Class, plat *hw.Platform) workl
 				Name: "cool-environment",
 				Do:   func(se *sim.Engine, m *rtm.Manager) { se.SetAmbient(base) },
 			})
+		}
+	case ClassFaulty:
+		// Seeded hardware faults: one cluster (two on bigger platforms)
+		// drops offline mid-run; most come back. rng.Perm keeps the failed
+		// clusters distinct, so at least one cluster always stays online
+		// and a graceful policy has somewhere to degrade to.
+		nWin := 1
+		if len(plat.Clusters) > 2 && rng.Intn(2) == 0 {
+			nWin = 2
+		}
+		order := rng.Perm(len(plat.Clusters))
+		for i := 0; i < nWin; i++ {
+			fw := workload.FaultWindow{
+				Cluster: plat.Clusters[order[i]].Name,
+				FailS:   (0.2 + 0.4*rng.Float64()) * endS,
+			}
+			if rng.Intn(3) > 0 {
+				fw.RepairS = fw.FailS + (0.15+0.35*rng.Float64())*(endS-fw.FailS)
+			}
+			sc.Faults = append(sc.Faults, fw)
 		}
 	case ClassChurn:
 		// Mid-run requirement change on one DNN, as in Fig 2 t=25.

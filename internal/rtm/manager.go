@@ -66,6 +66,12 @@ type Manager struct {
 	// tick would churn without changing the plan.
 	MissReplanBackoffS float64
 
+	// FaultReplanBackoffS rate-limits fault-triggered replans the same way:
+	// a fault storm (several clusters failing close together) or a degraded
+	// pin the engine keeps rejecting must not replan every event. The first
+	// fault after a quiet period always replans immediately.
+	FaultReplanBackoffS float64
+
 	// NoPlanReuse disables both plan-reuse tiers (replan elision and the
 	// plan memo cache): every Replan rebuilds the view and re-runs the
 	// policy. Reuse is byte-identical by construction; this switch exists
@@ -81,6 +87,18 @@ type Manager struct {
 	last         []Assignment
 	lastView     View
 	lastMissPlan float64
+
+	// Fault-replan state: faultPending marks an open fault burst (recovery
+	// latency is measured from faultAtS to the next actuated replan),
+	// faultReplanWanted defers a fault/repair-triggered replan that landed
+	// inside the backoff window to a later tick, and recoveries accumulates
+	// the measured latencies for fleet reporting.
+	faultPending      bool
+	faultReplanWanted bool
+	faultAtS          float64
+	lastFaultPlan     float64
+	recoveries        []float64
+	degradedUsed      []int // scratch for applyDegradedFallback
 
 	// Plan-reuse state: version counters folded into the elision
 	// fingerprint, the fingerprint of the last actuated plan (valid only
@@ -123,6 +141,8 @@ func NewManager(reqs map[string]Requirement) *Manager {
 		BaseMarginC:         0,
 		MissReplanThreshold: 2,
 		MissReplanBackoffS:  2,
+		FaultReplanBackoffS: 0.5,
+		lastFaultPlan:       math.Inf(-1),
 		policy:              heuristicPolicy{},
 	}
 	for k, v := range reqs {
@@ -217,6 +237,15 @@ func (m *Manager) OnTick(e *sim.Engine) {
 		m.pending = true
 		m.lastMissPlan = e.Now()
 	}
+	// Fault retry: a deferred fault/repair replan, or apps still sitting on
+	// dead hardware (a degraded pin the engine rejected, or no online
+	// cluster could take them), keeps replanning on the fault backoff until
+	// everything is hosted or the fault burst is over.
+	if (m.faultReplanWanted || e.UnhostedApps() > 0) && e.Now()-m.lastFaultPlan >= m.FaultReplanBackoffS {
+		m.faultReplanWanted = false
+		m.lastFaultPlan = e.Now()
+		m.pending = true
+	}
 	if m.pending {
 		m.Replan(e)
 	}
@@ -233,7 +262,26 @@ func (m *Manager) OnEvent(e *sim.Engine, ev sim.Event) {
 		m.Replan(e)
 	case sim.EvDeadlineMiss, sim.EvFrameDrop:
 		m.misses++
+	case sim.EvClusterFail, sim.EvClusterRepair:
+		if ev.Kind == sim.EvClusterFail && !m.faultPending {
+			m.faultPending = true
+			m.faultAtS = ev.TimeS
+		}
+		m.logf("rtm: t=%.2fs %s %s", ev.TimeS, ev.Kind, ev.Cluster)
+		if e.Now()-m.lastFaultPlan >= m.FaultReplanBackoffS {
+			m.lastFaultPlan = e.Now()
+			m.Replan(e)
+		} else {
+			m.faultReplanWanted = true
+		}
 	}
+}
+
+// FaultRecoveries returns the recovery latencies measured so far: for each
+// fault burst, the time from the first EvClusterFail to the first
+// subsequent actuated (non-elided) replan. The slice is a copy.
+func (m *Manager) FaultRecoveries() []float64 {
+	return append([]float64(nil), m.recoveries...)
 }
 
 // buildView snapshots the engine and the manager's thermal stance into the
@@ -362,6 +410,10 @@ func (m *Manager) Replan(e *sim.Engine) {
 			m.planCache.put(m.keyBuf, plan)
 		}
 	}
+	// The last-resort degradation guarantee runs after the cache put: the
+	// cache stores the raw policy plan and the fallback is a pure function
+	// of (view, plan), so fresh and memo-hit plans degrade identically.
+	m.applyDegradedFallback(&v, plan)
 	// Publish into manager-owned storage *before* any callback can run:
 	// plan aliases the policy scratch and v aliases the snapshot scratch,
 	// both of which the next replan rewrites in place — a Logf (or later
@@ -376,6 +428,12 @@ func (m *Manager) Replan(e *sim.Engine) {
 			asg.OPPIndex, asg.Pass, asg.LatencyS*1000, asg.DynPowMW)
 	}
 	m.actuate(e, v, plan)
+	// An actuated plan closes the open fault burst: the policy has had its
+	// say over the degraded hardware, so the recovery latency ends here.
+	if m.faultPending {
+		m.recoveries = append(m.recoveries, v.NowS-m.faultAtS)
+		m.faultPending = false
+	}
 	// Arm elision for the next replan only if actuating this plan was a
 	// fixed point: no knob moved, so engine state now equals the plan's
 	// targets and an identical fingerprint implies an identical no-op
@@ -383,6 +441,176 @@ func (m *Manager) Replan(e *sim.Engine) {
 	// fp.epoch means actuation changed something.)
 	m.lastFP = fp
 	m.lastFPOK = fpOK && e.PlanEpoch() == fp.epoch
+}
+
+// applyDegradedFallback rewrites any assignment still targeting an offline
+// cluster to the last-resort degraded pin: lowest level, minimum OPP, on
+// the least-loaded online cluster that can take the app (a free core for
+// CPUs, a level-1 memory fit for capped accelerators; accelerator duty may
+// oversubscribe — in degraded mode a slow frame beats no frame). When
+// every online CPU core is already planned away, the fallback shrinks a
+// donor: the plan's largest CPU allocation on an online cluster gives up
+// one core so the stranded app gets a seat — a greedy policy must not
+// strand a low-priority app on dead silicon just because higher-priority
+// apps claimed every core. Built-in policies already divert inside
+// planning (see park), so this post-pass is the manager-level guarantee
+// that holds for third-party policies — and for the no-seat-left case park
+// cannot solve. It is a pure function of (view, plan) — no manager or
+// engine state — so it degrades fresh and memo-cache-hit plans
+// identically, and it leaves an assignment untouched only when no online
+// cluster can possibly host the app (the OnTick fault retry keeps
+// replanning until a repair changes that).
+func (m *Manager) applyDegradedFallback(v *View, plan []Assignment) {
+	anyOffline := false
+	for i := range v.Clusters {
+		if !v.Clusters[i].Online {
+			anyOffline = true
+			break
+		}
+	}
+	if !anyOffline {
+		return
+	}
+	clusterIdx := func(name string) int {
+		for j := range v.Platform.Clusters {
+			if v.Platform.Clusters[j].Name == name {
+				return j
+			}
+		}
+		return -1
+	}
+	// Planned CPU-core commitments per cluster: non-DNN co-runners keep
+	// their current cores, DNNs occupy what the plan gives them. This is
+	// the capacity the engine will enforce at migration time, so pins that
+	// respect it actuate cleanly.
+	used := reuseInts(m.degradedUsed, len(v.Platform.Clusters))
+	m.degradedUsed = used
+	for _, a := range v.Apps {
+		if a.Running && a.Kind != sim.KindDNN {
+			if cj := clusterIdx(a.Placement.Cluster); cj >= 0 && !v.Platform.Clusters[cj].Type.IsAccelerator() {
+				used[cj] += a.Placement.Cores
+			}
+		}
+	}
+	for i := range plan {
+		if cj := clusterIdx(plan[i].Placement.Cluster); cj >= 0 && !v.Platform.Clusters[cj].Type.IsAccelerator() {
+			used[cj] += plan[i].Placement.Cores
+		}
+	}
+	// Normalise over-committed CPU clusters: refugees from a dead cluster
+	// pile onto the survivors on top of apps parked at their pre-fault core
+	// counts, and a plan that books more cores than exist can never fully
+	// actuate — the engine rejects the move-ins and every retry regenerates
+	// the same dead-locked plan. Shrink the largest allocation (earliest in
+	// plan order on ties) one core at a time until the books balance or
+	// every seat is down to one core.
+	for cj, cl := range v.Platform.Clusters {
+		if cl.Type.IsAccelerator() || !v.ClusterOnline(cj) {
+			continue
+		}
+		for used[cj] > cl.Cores {
+			donor := -1
+			for j := range plan {
+				if clusterIdx(plan[j].Placement.Cluster) != cj || plan[j].Placement.Cores < 2 {
+					continue
+				}
+				if donor < 0 || plan[j].Placement.Cores > plan[donor].Placement.Cores {
+					donor = j
+				}
+			}
+			if donor < 0 {
+				break
+			}
+			plan[donor].Placement.Cores--
+			used[cj]--
+		}
+	}
+	for i := range plan {
+		asg := &plan[i]
+		ci := clusterIdx(asg.Placement.Cluster)
+		if ci < 0 || v.ClusterOnline(ci) {
+			continue
+		}
+		var app *sim.AppInfo
+		for j := range v.Apps {
+			if v.Apps[j].Name == asg.App {
+				app = &v.Apps[j]
+				break
+			}
+		}
+		if app == nil {
+			continue
+		}
+		// Strict pass: an online cluster with a planned seat free.
+		best, bestLoad := -1, 0.0
+		for cj, cl := range v.Platform.Clusters {
+			if !v.ClusterOnline(cj) {
+				continue
+			}
+			var load float64
+			if cl.Type.IsAccelerator() {
+				if cj < len(v.Clusters) && cl.MemBytes > 0 && app.ModelBytes > 0 &&
+					app.ModelBytes/int64(app.Profile.MaxLevel()) > v.Clusters[cj].MemFree {
+					continue
+				}
+				if cj < len(v.Clusters) {
+					load = v.Clusters[cj].Util
+				}
+			} else {
+				if used[cj] >= cl.Cores {
+					continue
+				}
+				load = float64(used[cj]) / float64(cl.Cores)
+			}
+			if best == -1 || load < bestLoad {
+				best, bestLoad = cj, load
+			}
+		}
+		// Donor pass: shrink the largest planned CPU allocation on an
+		// online cluster by one core (earliest in plan order on ties).
+		if best < 0 {
+			donor := -1
+			for j := range plan {
+				cj := clusterIdx(plan[j].Placement.Cluster)
+				if j == i || cj < 0 || !v.ClusterOnline(cj) ||
+					v.Platform.Clusters[cj].Type.IsAccelerator() || plan[j].Placement.Cores < 2 {
+					continue
+				}
+				if donor < 0 || plan[j].Placement.Cores > plan[donor].Placement.Cores {
+					donor = j
+				}
+			}
+			if donor >= 0 {
+				plan[donor].Placement.Cores--
+				best = clusterIdx(plan[donor].Placement.Cluster)
+				used[best]--
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		cl := v.Platform.Clusters[best]
+		asg.Placement = sim.Placement{Cluster: cl.Name, Cores: clApplyCores(cl, 1)}
+		asg.Level = 1
+		asg.OPPIndex = 0
+		asg.Pass = 3
+		if !cl.Type.IsAccelerator() {
+			used[best]++
+		}
+	}
+}
+
+// reuseInts returns s with length n and zeroed contents, keeping the
+// backing array whenever it is large enough.
+func reuseInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // actuate applies the plan through the knob layer: level reductions first
@@ -409,17 +637,26 @@ func (m *Manager) actuate(e *sim.Engine, v View, plan []Assignment) {
 			m.setLevel(e, asg.App, asg.Level)
 		}
 	}
-	// Apps vacating a memory-constrained accelerator migrate first so the
-	// freed memory is visible to apps moving in within the same plan.
-	migrate := func(vacatingFirst bool) {
+	// Migrations run in three waves ordered so freed capacity is visible
+	// within the same plan: same-cluster core shrinks first (they free CPU
+	// cores a move-in on that cluster needs), then apps vacating a
+	// memory-constrained accelerator (freeing memory), then everything
+	// else.
+	migrate := func(want int) {
 		for _, asg := range plan {
 			cur := current[asg.App]
 			if asg.Placement == cur.Placement {
 				continue
 			}
 			fromCl := e.Platform().Cluster(cur.Placement.Cluster)
-			vacating := fromCl != nil && fromCl.MemBytes > 0
-			if vacating != vacatingFirst {
+			wave := 2
+			switch {
+			case asg.Placement.Cluster == cur.Placement.Cluster && asg.Placement.Cores < cur.Placement.Cores:
+				wave = 0
+			case fromCl != nil && fromCl.MemBytes > 0:
+				wave = 1
+			}
+			if wave != want {
 				continue
 			}
 			if err := e.Migrate(asg.App, asg.Placement); err != nil {
@@ -430,8 +667,9 @@ func (m *Manager) actuate(e *sim.Engine, v View, plan []Assignment) {
 			}
 		}
 	}
-	migrate(true)
-	migrate(false)
+	migrate(0)
+	migrate(1)
+	migrate(2)
 	for _, asg := range plan {
 		if cur := current[asg.App]; asg.Level > cur.Level {
 			m.setLevel(e, asg.App, asg.Level)

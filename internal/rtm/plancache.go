@@ -283,6 +283,18 @@ func (m *Manager) buildPlanKey(v *View, id string, ck cacheKeyed) []byte {
 	b = appendStr(b, id)
 	b = appendF64(b, v.DynBudgetMW)
 	b = append(b, m.platformKey(v.Platform)...)
+	// Cluster availability is planning-visible runtime state (offline
+	// clusters get no candidates and trigger the park divert), so it joins
+	// the key: a plan computed against one availability set must never be
+	// served for another. Elision is already safe — fail/repair bump the
+	// PlanEpoch inside the fingerprint.
+	for ci := range v.Platform.Clusters {
+		if v.ClusterOnline(ci) {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
 	b = binary.AppendUvarint(b, uint64(len(v.Apps)))
 	for i := range v.Apps {
 		a := &v.Apps[i]

@@ -64,6 +64,17 @@ func (v *View) Req(a sim.AppInfo) Requirement {
 	return r
 }
 
+// ClusterOnline reports whether the cluster at platform index ci is
+// available. Manager-built views carry one ClusterInfo per platform
+// cluster in order; sparse hand-built views (fewer Clusters than platform
+// clusters) default to online, matching the pre-fault behaviour.
+func (v *View) ClusterOnline(ci int) bool {
+	if ci < 0 || ci >= len(v.Clusters) {
+		return true
+	}
+	return v.Clusters[ci].Online
+}
+
 // Clone deep-copies the view's slices and map (one level: profile level
 // tables inside AppInfo are shared, as is the Platform description). It is
 // what Manager.LastView returns, so callers can inspect the last planning
@@ -253,6 +264,7 @@ type candidate struct {
 // per plan.
 type planState struct {
 	clusters  []*hw.Cluster // v.Platform.Clusters, the index space
+	online    []bool
 	freeCores []int
 	freeDuty  []float64
 	freeMem   []int64
@@ -304,12 +316,19 @@ func newPlanState(v *View) *planState {
 func (st *planState) init(v *View) {
 	cls := v.Platform.Clusters
 	st.clusters = cls
+	st.online = reuse(st.online, len(cls))
 	st.freeCores = reuse(st.freeCores, len(cls))
 	st.freeDuty = reuse(st.freeDuty, len(cls))
 	st.freeMem = reuse(st.freeMem, len(cls))
 	st.oppNeed = reuse(st.oppNeed, len(cls))
 	st.dynBudget = v.DynBudgetMW
 	for ci, cl := range cls {
+		st.online[ci] = v.ClusterOnline(ci)
+		if !st.online[ci] {
+			// Dead silicon: no allocatable resources (coreOptions then
+			// returns empty for every policy) and no idle draw to charge.
+			continue
+		}
 		st.dynBudget -= cl.IdlePowerMW()
 		if cl.Type.IsAccelerator() {
 			st.freeDuty[ci] = 1
@@ -323,6 +342,9 @@ func (st *planState) init(v *View) {
 	// are visited in view (engine creation) order — the same accumulation
 	// order as the map-grouped implementation this replaces.
 	for ci, cl := range cls {
+		if !st.online[ci] {
+			continue // co-runners on a dead cluster run nothing and draw nothing
+		}
 		resident, render := false, false
 		for i := range v.Apps {
 			a := &v.Apps[i]
@@ -563,7 +585,30 @@ func (st *planState) commit(a sim.AppInfo, c candidate, pass int) Assignment {
 
 // park is the nothing-fits fallback every policy shares: stay at the
 // current placement, minimum level, minimum OPP, and let best effort ride.
+// When the current placement is on an offline cluster, staying put would
+// leave the app unhosted, so park diverts to the degraded pin: lowest
+// level on the least-loaded online cluster that can still take it. Only
+// when no online cluster can host the app does it stay on the dead one —
+// the retry/repair triggers in the Manager pick it up from there.
 func park(v *View, st *planState, a sim.AppInfo) Assignment {
+	if ci := st.clusterIndex(a.Placement.Cluster); ci >= 0 && !st.online[ci] {
+		if alt := degradedPin(st, a); alt >= 0 {
+			cl := st.clusters[alt]
+			cores := clApplyCores(cl, 1)
+			c := candidate{
+				placement: sim.Placement{Cluster: cl.Name, Cores: cores},
+				ci:        alt,
+				level:     1,
+				oppIdx:    0,
+				latencyS:  perf.InferenceLatencyS(cl, cl.MinOPP(), cores, a.Profile.Level(1).MACs),
+				accuracy:  a.Profile.Level(1).Accuracy,
+			}
+			if cl.MemBytes > 0 && a.ModelBytes > 0 {
+				c.memBytes = a.ModelBytes / int64(a.Profile.MaxLevel())
+			}
+			return st.commit(a, c, 3)
+		}
+	}
 	cl := v.Platform.Cluster(a.Placement.Cluster)
 	c := candidate{
 		placement: a.Placement,
@@ -574,6 +619,38 @@ func park(v *View, st *planState, a sim.AppInfo) Assignment {
 		accuracy:  a.Profile.Level(1).Accuracy,
 	}
 	return st.commit(a, c, 3)
+}
+
+// degradedPin picks the ledger index of the least-loaded online cluster
+// able to host a at its lowest level, or -1 when none can. CPUs must have
+// a free core and memory-capped accelerators must fit the level-1 model —
+// both hard actuation constraints — but accelerator duty may oversubscribe:
+// in degraded mode a slow frame beats no frame. Load is the consumed
+// fraction of the ledger; ties resolve in platform order.
+func degradedPin(st *planState, a sim.AppInfo) int {
+	best, bestLoad := -1, 0.0
+	for ci, cl := range st.clusters {
+		if !st.online[ci] {
+			continue
+		}
+		var load float64
+		if cl.Type.IsAccelerator() {
+			if cl.MemBytes > 0 && a.ModelBytes > 0 &&
+				a.ModelBytes/int64(a.Profile.MaxLevel()) > st.freeMem[ci] {
+				continue
+			}
+			load = 1 - st.freeDuty[ci]
+		} else {
+			if st.freeCores[ci] < 1 {
+				continue
+			}
+			load = 1 - float64(st.freeCores[ci])/float64(cl.Cores)
+		}
+		if best == -1 || load < bestLoad {
+			best, bestLoad = ci, load
+		}
+	}
+	return best
 }
 
 // descendingLevels fills buf with [MaxLevel .. 1] for a profile, reusing

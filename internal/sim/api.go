@@ -53,8 +53,9 @@ func (e *Engine) TotalPowerMW() float64 {
 }
 
 // PlanEpoch is a monotone counter over planning-relevant engine state:
-// the running-app set, model levels, placements, per-cluster OPPs and the
-// ambient temperature. Two calls returning the same value guarantee that
+// the running-app set, model levels, placements, per-cluster OPPs,
+// cluster availability and the ambient temperature. Two calls returning
+// the same value guarantee that
 // every View field a planning policy derives from that state is unchanged
 // — the cheap dirty check behind the rtm manager's replan elision.
 // Continuously-moving observables (clock, die temperature, per-app
@@ -89,6 +90,7 @@ type AppInfo struct {
 	Completed  int
 	Missed     int
 	Dropped    int
+	Aborted    int // frames killed by a cluster fault (in-flight or released while unhosted)
 	AvgLatency float64
 	MaxLatency float64
 }
@@ -117,6 +119,7 @@ func (e *Engine) appInfo(a *appState) AppInfo {
 		Completed:  a.completed,
 		Missed:     a.missed,
 		Dropped:    a.dropped,
+		Aborted:    a.aborted,
 	}
 	if a.completed > 0 {
 		info.AvgLatency = a.sumLatency / float64(a.completed)
@@ -147,6 +150,7 @@ type ClusterInfo struct {
 	EnergyMJ  float64
 	Residents []string
 	MemFree   int64 // accelerator model memory remaining (0 for DRAM clusters)
+	Online    bool  // availability: false while the cluster is failed
 }
 
 // Cluster returns the observable state of the named cluster.
@@ -173,6 +177,7 @@ func (e *Engine) clusterInfoInto(cs *clusterState, info *ClusterInfo) {
 		Cores:    cs.c.Cores,
 		Util:     e.clusterUtilOf(cs),
 		EnergyMJ: cs.energy,
+		Online:   cs.online,
 	}
 	info.PowerMW = cs.cachedPow
 	for _, a := range e.appList {
@@ -322,6 +327,61 @@ func (e *Engine) SetOPP(cluster string, idx int) error {
 	return nil
 }
 
+// SetClusterOnline changes a cluster's availability (the hardware-fault
+// disturbance knob). Taking a cluster offline aborts its in-flight jobs —
+// the work is lost, not migrated — and leaves resident apps unhosted until
+// a controller replans them; bringing it back makes it plannable again.
+// Both transitions advance the planning epoch and invalidate the derived
+// caches, so replan elision and plan memoisation can never serve a plan
+// computed against a different availability set.
+func (e *Engine) SetClusterOnline(cluster string, online bool) error {
+	cs, ok := e.clusters[cluster]
+	if !ok {
+		return fmt.Errorf("sim: unknown cluster %q", cluster)
+	}
+	if cs.online == online {
+		return nil
+	}
+	cs.online = online
+	kind := EvClusterRepair
+	if online {
+		e.offline--
+		e.clusterRepairs++
+	} else {
+		e.offline++
+		e.clusterFails++
+		kind = EvClusterFail
+		for _, a := range e.appList {
+			if a.placedCS == cs && a.jobActive {
+				a.jobActive = false
+				a.aborted++
+				a.completionSeq = 0 // cancel the pending completion event
+			}
+		}
+	}
+	e.stateVer++
+	e.planEpoch++
+	e.emit(Event{TimeS: e.now, Kind: kind, Cluster: cluster})
+	e.refresh()
+	return nil
+}
+
+// UnhostedApps counts running DNN apps currently placed on an offline
+// cluster — work that needs a replan to resume. The zero-fault fast path
+// keeps this cheap enough to poll every tick.
+func (e *Engine) UnhostedApps() int {
+	if e.offline == 0 {
+		return 0
+	}
+	n := 0
+	for _, a := range e.appList {
+		if a.Kind == KindDNN && a.started && !a.stopped && !a.placedCS.online {
+			n++
+		}
+	}
+	return n
+}
+
 // Migrate moves an app to a new placement (the task-mapping knob),
 // charging the migration model's downtime during which the app's current
 // job stalls. Capacity and accelerator memory are checked first.
@@ -333,6 +393,9 @@ func (e *Engine) Migrate(app string, to Placement) error {
 	cl := e.plat.Cluster(to.Cluster)
 	if cl == nil {
 		return fmt.Errorf("sim: unknown cluster %q", to.Cluster)
+	}
+	if !e.clusters[to.Cluster].online {
+		return fmt.Errorf("sim: cluster %q is offline", to.Cluster)
 	}
 	if cl.Type.IsAccelerator() {
 		to.Cores = cl.Cores
@@ -401,9 +464,23 @@ type Report struct {
 	Migrations    int
 	LevelSwaps    int
 	OPPSwitches   int
-	Apps          []AppInfo
-	Clusters      []ClusterReport
-	Events        []Event // only when LogEvents was set
+
+	// Fault accounting (all zero on a fault-free run). JobsAborted sums the
+	// per-app Aborted stats; UnhostedS integrates running-DNN app-seconds
+	// spent placed on an offline cluster; the Degraded* counters split frame
+	// outcomes by whether any cluster was offline when they happened.
+	ClusterFails      int
+	ClusterRepairs    int
+	JobsAborted       int
+	UnhostedS         float64
+	DegradedFrames    int
+	DegradedCompleted int
+	DegradedMissed    int
+	DegradedDropped   int
+
+	Apps     []AppInfo
+	Clusters []ClusterReport
+	Events   []Event // only when LogEvents was set
 }
 
 // Report summarises the run so far.
@@ -417,8 +494,20 @@ func (e *Engine) Report() Report {
 		Migrations:    e.migrations,
 		LevelSwaps:    e.levelSwaps,
 		OPPSwitches:   e.oppSwitches,
-		Apps:          e.Apps(),
-		Events:        e.eventLog,
+
+		ClusterFails:      e.clusterFails,
+		ClusterRepairs:    e.clusterRepairs,
+		UnhostedS:         e.unhostedS,
+		DegradedFrames:    e.degReleased,
+		DegradedCompleted: e.degCompleted,
+		DegradedMissed:    e.degMissed,
+		DegradedDropped:   e.degDropped,
+
+		Apps:   e.Apps(),
+		Events: e.eventLog,
+	}
+	for _, a := range e.appList {
+		r.JobsAborted += a.aborted
 	}
 	if e.now > 0 {
 		r.AvgPowerMW = e.totalEnergy / e.now

@@ -160,6 +160,15 @@ func (e *Engine) advanceTo(t float64) {
 			}
 		}
 	}
+	// Unhosted integration: running DNNs whose placement cluster is offline
+	// accumulate app-seconds of lost service until a replan moves them.
+	if e.offline > 0 {
+		for _, a := range e.appList {
+			if a.Kind == KindDNN && a.started && !a.stopped && !a.placedCS.online {
+				e.unhostedS += dt
+			}
+		}
+	}
 
 	// Thermal integration (exact within the segment).
 	tempBefore := e.thermal.TempC
@@ -203,8 +212,14 @@ func (e *Engine) clusterUtil(name string) float64 {
 // needs the other within the same piecewise-constant segment.
 func (e *Engine) clusterUtilOf(cs *clusterState) float64 {
 	if cs.utilVer != e.stateVer {
-		cs.cachedUtil = e.computeClusterUtil(cs)
-		cs.cachedPow = cs.c.BusyPowerMW(cs.c.OPPs[cs.oppIdx], cs.c.Cores, cs.cachedUtil)
+		if cs.online {
+			cs.cachedUtil = e.computeClusterUtil(cs)
+			cs.cachedPow = cs.c.BusyPowerMW(cs.c.OPPs[cs.oppIdx], cs.c.Cores, cs.cachedUtil)
+		} else {
+			// A failed cluster runs nothing and draws nothing — not even
+			// static power: the domain is dead, not idle.
+			cs.cachedUtil, cs.cachedPow = 0, 0
+		}
 		cs.utilVer = e.stateVer
 	}
 	return cs.cachedUtil
@@ -333,6 +348,9 @@ func (e *Engine) computeJobRate(a *appState) float64 {
 		return 0
 	}
 	cs := a.placedCS
+	if !cs.online {
+		return 0
+	}
 	opp := cs.c.OPPs[cs.oppIdx]
 	if cs.c.Type.IsAccelerator() {
 		return cs.c.EffectiveRate(opp, cs.c.Cores) * e.acceleratorDNNShare(cs)
@@ -411,8 +429,29 @@ func (e *Engine) handle(ev hevent) {
 // schedules the next release.
 func (e *Engine) release(a *appState) {
 	a.released++
+	if e.offline > 0 {
+		e.degReleased++
+	}
+	if !a.placedCS.online {
+		// The app is unhosted: its cluster died and no replan has moved it
+		// yet. The frame aborts immediately — there is no hardware to run
+		// it on. Per-app it counts as aborted (not dropped); in the
+		// degraded-window split it joins degDropped so the window's
+		// outcome counters cover exactly the frames released inside it.
+		a.aborted++
+		e.degDropped++
+		e.emit(Event{TimeS: e.now, Kind: EvFrameDrop, App: a.Name, Note: "unhosted"})
+		next := e.now + a.PeriodS
+		if (a.StopS == 0 || next < a.StopS) && next <= e.endS {
+			e.push(next, hRelease, a.idx)
+		}
+		return
+	}
 	if a.jobActive {
 		a.dropped++
+		if e.offline > 0 {
+			e.degDropped++
+		}
 		e.emit(Event{TimeS: e.now, Kind: EvFrameDrop, App: a.Name})
 	} else {
 		a.jobActive = true
@@ -438,12 +477,18 @@ func (e *Engine) complete(a *appState) {
 	a.jobActive = false
 	e.stateVer++
 	a.completed++
+	if e.offline > 0 {
+		e.degCompleted++
+	}
 	a.sumLatency += latency
 	if latency > a.maxLatency {
 		a.maxLatency = latency
 	}
 	if latency > a.PeriodS+1e-9 {
 		a.missed++
+		if e.offline > 0 {
+			e.degMissed++
+		}
 		ev := Event{TimeS: e.now, Kind: EvDeadlineMiss, App: a.Name, LatencyS: latency}
 		if e.observed() {
 			// The note is presentation-only; formatting it when no log and

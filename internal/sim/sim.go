@@ -90,6 +90,8 @@ const (
 	EvFrameDrop    // release arrived while previous job still running
 	EvThermalAlarm // temperature crossed the throttle threshold upward
 	EvMigrated
+	EvClusterFail   // a cluster dropped offline (hardware fault)
+	EvClusterRepair // a failed cluster came back online
 )
 
 func (k EventKind) String() string {
@@ -108,6 +110,10 @@ func (k EventKind) String() string {
 		return "thermal-alarm"
 	case EvMigrated:
 		return "migrated"
+	case EvClusterFail:
+		return "cluster-fail"
+	case EvClusterRepair:
+		return "cluster-repair"
 	}
 	return "unknown"
 }
@@ -117,7 +123,10 @@ type Event struct {
 	TimeS float64
 	Kind  EventKind
 	App   string
-	Note  string
+	// Cluster names the cluster an EvClusterFail/EvClusterRepair event is
+	// about ("" for app-level events).
+	Cluster string
+	Note    string
 	// LatencyS is the job's release-to-completion latency, set on
 	// EvJobComplete and EvDeadlineMiss (0 otherwise). Consumers building
 	// latency distributions (percentiles) read it from the event log.
@@ -185,6 +194,7 @@ type appState struct {
 	completed  int
 	missed     int
 	dropped    int
+	aborted    int // jobs killed by a cluster fault (in-flight or released while unhosted)
 	sumLatency float64
 	maxLatency float64
 }
@@ -193,6 +203,7 @@ type appState struct {
 type clusterState struct {
 	c       *hw.Cluster
 	oppIdx  int
+	online  bool    // availability: an offline cluster runs nothing and draws nothing
 	energy  float64 // mJ
 	busyS   float64 // seconds with any activity
 	lastPow float64 // mW, for observability
@@ -253,6 +264,20 @@ type Engine struct {
 	migrations  int
 	levelSwaps  int
 	oppSwitches int
+
+	// Fault accounting. offline counts clusters currently unavailable (the
+	// cheap "is anything degraded" predicate); unhostedS integrates running
+	// DNN app-seconds spent placed on an offline cluster; the deg* counters
+	// split frame outcomes by whether any cluster was offline at the time,
+	// so reports can compare miss rates inside and outside degraded windows.
+	offline        int
+	clusterFails   int
+	clusterRepairs int
+	unhostedS      float64
+	degReleased    int
+	degCompleted   int
+	degMissed      int
+	degDropped     int
 
 	// stateVer tags the derived-value caches (cluster utilisation/power,
 	// accelerator share, job rates). It advances on every mutation those
@@ -329,6 +354,9 @@ func (e *Engine) Reset(cfg Config) error {
 	e.thermalEvSeq, e.thermalEst, e.alarmed = 0, 0, false
 	e.overThrotS, e.overCritS, e.totalEnergy = 0, 0, 0
 	e.migrations, e.levelSwaps, e.oppSwitches = 0, 0, 0
+	e.offline, e.clusterFails, e.clusterRepairs = 0, 0, 0
+	e.unhostedS = 0
+	e.degReleased, e.degCompleted, e.degMissed, e.degDropped = 0, 0, 0, 0
 	e.maxTempC = cfg.Platform.AmbientC
 	// stateVer restarts at 1 so the version tags zeroed by the store
 	// rewrites below are invalid until first fill.
@@ -350,7 +378,7 @@ func (e *Engine) Reset(cfg Config) error {
 	e.clusterStore = e.clusterStore[:len(cfg.Platform.Clusters)]
 	e.clusterList = e.clusterList[:0]
 	for i, c := range cfg.Platform.Clusters {
-		e.clusterStore[i] = clusterState{c: c}
+		e.clusterStore[i] = clusterState{c: c, online: true}
 		cs := &e.clusterStore[i]
 		e.clusters[c.Name] = cs
 		e.clusterList = append(e.clusterList, cs)

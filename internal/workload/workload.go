@@ -31,13 +31,25 @@ type Action struct {
 	Do   func(e *sim.Engine, m *rtm.Manager)
 }
 
+// FaultWindow is one scripted hardware fault: the named cluster drops
+// offline at FailS and, when RepairS > 0, comes back at RepairS. A zero
+// RepairS means the cluster stays dead for the rest of the run.
+type FaultWindow struct {
+	Cluster string
+	FailS   float64
+	RepairS float64
+}
+
 // Scenario bundles everything a scripted run needs.
 type Scenario struct {
 	Name    string
 	Apps    []sim.App
 	Reqs    map[string]rtm.Requirement
 	Actions []Action
-	EndS    float64
+	// Faults are seeded hardware-fault windows, applied at tick quantisation
+	// like Actions (they are converted to fail/repair actions at run time).
+	Faults []FaultWindow
+	EndS   float64
 	// Policy names the registered planning policy the manager runs under
 	// ("" = the default heuristic). Run resolves it via rtm.NewPolicy, so
 	// the same scripted workload can be replayed under any strategy.
@@ -246,7 +258,15 @@ func RunEngineOpts(e *sim.Engine, s Scenario, plat *hw.Platform, tickS float64, 
 	if opts.PlanCache != nil {
 		mgr.SetPlanCache(opts.PlanCache)
 	}
-	ctrl := NewScenarioController(mgr, s.Actions)
+	actions := s.Actions
+	if len(s.Faults) > 0 {
+		// Fault windows become ordinary scripted actions so they share the
+		// Actions path's tick quantisation and deterministic ordering
+		// (NewScenarioController's stable sort keeps fail-before-repair for
+		// windows converted in order).
+		actions = append(append([]Action(nil), s.Actions...), faultActions(s.Faults)...)
+	}
+	ctrl := NewScenarioController(mgr, actions)
 	cfg := sim.Config{
 		Platform:   plat,
 		Apps:       s.Apps,
@@ -267,4 +287,28 @@ func RunEngineOpts(e *sim.Engine, s Scenario, plat *hw.Platform, tickS float64, 
 		return nil, nil, sim.Report{}, err
 	}
 	return e, mgr, e.Report(), nil
+}
+
+// faultActions converts fault windows into fail/repair actions. The
+// SetClusterOnline error is ignored by design: a window naming an unknown
+// cluster is a scenario-authoring bug that validation should catch, and a
+// duplicate transition is a no-op.
+func faultActions(faults []FaultWindow) []Action {
+	out := make([]Action, 0, 2*len(faults))
+	for _, fw := range faults {
+		cluster := fw.Cluster
+		out = append(out, Action{
+			AtS:  fw.FailS,
+			Name: "fault-" + cluster,
+			Do:   func(e *sim.Engine, m *rtm.Manager) { _ = e.SetClusterOnline(cluster, false) },
+		})
+		if fw.RepairS > 0 {
+			out = append(out, Action{
+				AtS:  fw.RepairS,
+				Name: "repair-" + cluster,
+				Do:   func(e *sim.Engine, m *rtm.Manager) { _ = e.SetClusterOnline(cluster, true) },
+			})
+		}
+	}
+	return out
 }
