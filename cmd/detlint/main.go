@@ -1,0 +1,83 @@
+// Command detlint runs the repo's determinism & hot-path static-analysis
+// suite (internal/detlint) over package patterns and reports findings as
+// `file:line: [analyzer] message` lines (or JSON objects with -json).
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or load/type-check failure.
+//
+//	go run ./cmd/detlint ./...
+//	go run ./cmd/detlint -json ./internal/sim ./internal/rtm
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/emlrtm/emlrtm/internal/detlint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("detlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit one JSON diagnostic per line instead of text")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: detlint [-json] [packages]\n\n"+
+			"Runs the determinism & hot-path analyzers over the given package\n"+
+			"patterns (default ./...). Exits 1 when any diagnostic is found.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := detlint.Load(detlint.Config{}, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "detlint: %v\n", err)
+		return 2
+	}
+	diags := detlint.DefaultSuite().Run(pkgs)
+	if err := writeDiagnostics(stdout, diags, *jsonOut); err != nil {
+		fmt.Fprintf(stderr, "detlint: %v\n", err)
+		return 2
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "detlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// writeDiagnostics renders findings with file paths relative to the
+// current directory when possible, so CI logs and editors agree.
+func writeDiagnostics(w io.Writer, diags []detlint.Diagnostic, jsonOut bool) error {
+	cwd, _ := os.Getwd()
+	enc := json.NewEncoder(w)
+	for _, d := range diags {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, d.File); err == nil && !filepath.IsAbs(rel) {
+				d.File = rel
+			}
+		}
+		if jsonOut {
+			if err := enc.Encode(d); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,139 @@
+package detlint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RangeMap flags `for … range` over map-typed values in determinism-
+// critical packages. Go randomises map iteration order per run, so any map
+// range whose body's effect depends on visit order breaks the same-seed →
+// same-bytes invariant — PR 1's rtm.Replan fix was exactly this bug.
+//
+// One shape is recognised as clean without a directive: the sorted-keys
+// idiom, a key-only range whose body is exactly `keys = append(keys, k)` —
+// collecting keys for a subsequent sort is order-independent by
+// construction. Everything else needs `//detlint:ordered <reason>` on the
+// range statement.
+var RangeMap = &Analyzer{
+	Name: "rangemap",
+	Doc:  "flag map iteration in determinism-critical packages",
+	Run:  runRangeMap,
+}
+
+func runRangeMap(pass *Pass) {
+	if !pass.Critical {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := info.Types[rs.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isSortedKeysIdiom(info, rs) {
+				return true
+			}
+			pass.Reportf(rs.For,
+				"range over map (%s) in determinism-critical package: iteration order is randomised per run; sort keys first or annotate with //detlint:ordered <reason>",
+				types.TypeString(tv.Type, types.RelativeTo(pass.Pkg.Types)))
+			return true
+		})
+	}
+}
+
+// isSortedKeysIdiom recognises the key-collection loop that feeds a sort:
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//
+// Key-only (no value binding), and the body is a single append of the key
+// variable back onto the same slice it assigns (a plain variable or a
+// field path like g.platforms). Map values are never read, so the loop's
+// effect is the key *set*, not the visit order.
+func isSortedKeysIdiom(info *types.Info, rs *ast.RangeStmt) bool {
+	if rs.Value != nil {
+		return false
+	}
+	keyIdent, ok := rs.Key.(*ast.Ident)
+	if !ok || keyIdent.Name == "_" {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	if fun, ok := call.Fun.(*ast.Ident); !ok || !isBuiltin(info, fun, "append") {
+		return false
+	}
+	// append's destination and the assignment target must be the same
+	// storage path, and the appended element must be the range key.
+	elemObj := identObj(info, call.Args[1])
+	keyObj := info.Defs[keyIdent]
+	return keyObj != nil && elemObj == keyObj &&
+		samePath(info, assign.Lhs[0], call.Args[0])
+}
+
+// samePath reports whether two expressions are the identical simple
+// storage path: the same variable, or the same selector chain over the
+// same objects (keys vs k.e.y.s is resolved by object identity, not
+// spelling).
+func samePath(info *types.Info, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch a := a.(type) {
+	case *ast.Ident:
+		bi, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		oa, ob := identObj(info, a), identObj(info, bi)
+		return oa != nil && oa == ob
+	case *ast.SelectorExpr:
+		bs, ok := b.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		oa, ob := info.Uses[a.Sel], info.Uses[bs.Sel]
+		if oa == nil || oa != ob {
+			return false
+		}
+		return samePath(info, a.X, bs.X)
+	default:
+		return false
+	}
+}
+
+// identObj resolves a plain identifier expression to its object (nil for
+// anything more structured).
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// isBuiltin reports whether an identifier resolves to the named builtin.
+func isBuiltin(info *types.Info, id *ast.Ident, name string) bool {
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}

@@ -1,0 +1,31 @@
+// clock.go is the second file of the sim fixture package: multi-file
+// packages must type-check as a unit and report per-file positions.
+package sim
+
+import "time"
+
+// WallRead reads the host clock in a critical package.
+func WallRead() time.Time {
+	return time.Now() // want `time\.Now in determinism-critical package`
+}
+
+// WallWait sleeps and measures on the host clock.
+func WallWait(start time.Time) time.Duration {
+	time.Sleep(time.Millisecond) // want `time\.Sleep`
+	return time.Since(start)     // want `time\.Since`
+}
+
+// DeterministicTime uses only pure constructors/arithmetic: clean.
+func DeterministicTime() time.Time {
+	return time.Unix(0, 0).Add(3 * time.Second)
+}
+
+// AllowedWall carries a reasoned exemption.
+func AllowedWall() time.Time {
+	//detlint:allow wallclock fixture exercises the suppression path
+	return time.Now()
+}
+
+// crossFile uses a type declared in maps.go: the two files really are one
+// type-checked package.
+func crossFile(s stats) int { return s.n }

@@ -1,0 +1,21 @@
+// Package orchcli is a fixture for the allowlist boundary: its path does
+// NOT end in internal/<critical>, so wall-clock reads and map ranges are
+// legal here — orchestrators and CLIs live in host time.
+package orchcli
+
+import "time"
+
+// Supervise polls with real time: clean outside critical packages.
+func Supervise(deadline time.Time) bool {
+	time.Sleep(time.Millisecond)
+	return time.Now().After(deadline)
+}
+
+// PrintAll ranges a map without ceremony: clean outside critical packages.
+func PrintAll(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,26 @@
+// Package randuser is a fixture for globalrand, which applies to every
+// non-test package: randomness must flow through a seeded *rand.Rand.
+package randuser
+
+import "math/rand"
+
+// GlobalDraws use the shared global generator: flagged.
+func GlobalDraws() (int, float64) {
+	n := rand.Intn(10)                 // want `package-level rand\.Intn`
+	f := rand.Float64()                // want `package-level rand\.Float64`
+	rand.Shuffle(n, func(i, j int) {}) // want `package-level rand\.Shuffle`
+	return n, f
+}
+
+// SeededDraws go through an explicit *rand.Rand: methods are clean, and
+// rand.New/rand.NewSource are the legal seam that builds one.
+func SeededDraws(seed int64) (int, float64) {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10), r.Float64()
+}
+
+// AllowedGlobal carries a reasoned exemption.
+func AllowedGlobal() int {
+	//detlint:allow globalrand fixture exercises the suppression path
+	return rand.Int()
+}

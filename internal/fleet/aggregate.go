@@ -238,9 +238,11 @@ func Aggregate(seed uint64, results []Result) Report {
 		ByPlatform: map[string]GroupStats{},
 		ByClass:    map[Class]GroupStats{},
 	}
+	//detlint:ordered map-to-map rebuild; finalise reads only its own group
 	for name, g := range byPlat {
 		rep.ByPlatform[name] = g.finalise()
 	}
+	//detlint:ordered map-to-map rebuild; finalise reads only its own group
 	for class, g := range byClass {
 		rep.ByClass[class] = g.finalise()
 	}
@@ -249,6 +251,7 @@ func Aggregate(seed uint64, results []Result) Report {
 	// against.
 	if len(byPol) > 1 {
 		rep.ByPolicy = map[string]GroupStats{}
+		//detlint:ordered map-to-map rebuild; finalise reads only its own group
 		for name, g := range byPol {
 			rep.ByPolicy[name] = g.finalise()
 		}
@@ -355,6 +358,7 @@ func regret(results []Result) map[string]RegretStats {
 		return nil
 	}
 	out := make(map[string]RegretStats, len(accs))
+	//detlint:ordered map-to-map rebuild; each RegretStats is computed from its own accumulator
 	for name, a := range accs {
 		out[name] = RegretStats{
 			Workloads:      a.workloads,

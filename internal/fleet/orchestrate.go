@@ -170,6 +170,7 @@ func superviseShard(cfg OrchestratorConfig, spec ShardSpec, logf func(string, ..
 	for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
 		if attempt > 1 {
 			logf("fleet: shard %d/%d retry %d after %v: %v", spec.Index+1, spec.Count, attempt-1, backoff, lastErr)
+			//detlint:allow wallclock retry backoff paces real shard subprocesses, not simulated time
 			time.Sleep(backoff)
 			backoff *= 2
 		}
@@ -206,9 +207,9 @@ func attemptShard(cfg OrchestratorConfig, spec ShardSpec) (ShardResult, error) {
 	// The mtime is kept only as a fallback for a writer that rewrites
 	// bytes in place without growing the file. Before the file exists the
 	// attempt start is the baseline.
-	last := time.Now()
+	last := time.Now() //detlint:allow wallclock stall detection watches a real OS process's stream file
 	lastSize := int64(-1)
-	ticker := time.NewTicker(cfg.PollInterval)
+	ticker := time.NewTicker(cfg.PollInterval) //detlint:allow wallclock polling cadence for a real subprocess heartbeat
 	defer ticker.Stop()
 	stalled := false
 	for {
@@ -230,11 +231,12 @@ func attemptShard(cfg OrchestratorConfig, spec ShardSpec) (ShardResult, error) {
 			if fi, err := os.Stat(spec.Path); err == nil {
 				if fi.Size() != lastSize {
 					lastSize = fi.Size()
-					last = time.Now()
+					last = time.Now() //detlint:allow wallclock heartbeat timestamps are host time by nature
 				} else if fi.ModTime().After(last) {
 					last = fi.ModTime()
 				}
 			}
+			//detlint:allow wallclock stall timeout measures real elapsed time of a real process
 			if time.Since(last) > cfg.StallTimeout {
 				stalled = true
 				proc.Kill() // Wait will return; the select above reports the stall

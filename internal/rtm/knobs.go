@@ -117,6 +117,7 @@ func (r *Registry) Monitor(name string) *Monitor { return r.monitors[name] }
 // ("" = all).
 func (r *Registry) KnobNames(layer Layer) []string {
 	var out []string
+	//detlint:ordered names are filtered while collected, then sorted below
 	for n, k := range r.knobs {
 		if layer == "" || k.Layer == layer {
 			out = append(out, n)
@@ -130,6 +131,7 @@ func (r *Registry) KnobNames(layer Layer) []string {
 // layer ("" = all).
 func (r *Registry) MonitorNames(layer Layer) []string {
 	var out []string
+	//detlint:ordered names are filtered while collected, then sorted below
 	for n, m := range r.monitors {
 		if layer == "" || m.Layer == layer {
 			out = append(out, n)
@@ -143,6 +145,7 @@ func (r *Registry) MonitorNames(layer Layer) []string {
 // observation.
 func (r *Registry) Snapshot() map[string]float64 {
 	out := make(map[string]float64, len(r.monitors))
+	//detlint:ordered map-to-map rebuild; per-key reads and writes are order-independent
 	for n, m := range r.monitors {
 		out[n] = m.Read()
 	}

@@ -131,6 +131,7 @@ func (t *LearnedTable) Finalise() {
 		}
 	}
 	t.Fallback = t.Arms[fb]
+	//detlint:ordered each state's argmin is computed from that state alone; no cross-state accumulation
 	for _, st := range t.States {
 		best, bestCost := -1, math.Inf(1)
 		for i, n := range st.Visits {
@@ -179,7 +180,16 @@ func (t *LearnedTable) Validate() error {
 	if !armIdx[t.Fallback] {
 		return fmt.Errorf("rtm: learned table fallback %q is not an arm (%v)", t.Fallback, t.Arms)
 	}
-	for key, st := range t.States {
+	// Visit states in sorted key order: validation stops at the first bad
+	// state, and map order would make *which* error a multi-defect table
+	// reports vary run to run (detlint:rangemap surfaced this).
+	keys := make([]string, 0, len(t.States))
+	for k := range t.States {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		st := t.States[key]
 		if st == nil {
 			return fmt.Errorf("rtm: learned table state %q is null", key)
 		}
@@ -272,6 +282,8 @@ const (
 //
 // The key is compact ("h1p2s0a3") because it appears once per Plan call on
 // the training hot path and as every map key of the serialised table.
+//
+//detlint:hotpath
 func StateKey(v *View) string {
 	var b [12]byte
 	key := append(b[:0], 'h')

@@ -95,6 +95,26 @@ func TestLearnedTableValidate(t *testing.T) {
 	}
 }
 
+// TestLearnedTableValidateDeterministicError: with several defective
+// states, Validate must always report the lexically-first one. It used to
+// iterate the States map directly, so *which* defect a multi-defect table
+// reported varied run to run — surfaced by detlint's rangemap analyzer.
+func TestLearnedTableValidateDeterministicError(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		tb := trainedTestTable("h0p0s0a1", "h1p1s1a1", "h2p2s2a2")
+		tb.States["h1p1s1a1"].Arm = "nope"
+		tb.States["h2p2s2a2"].Arm = "nope"
+		tb.States["h0p0s0a1"].Visits = []int{1} // lexically first defect
+		err := tb.Validate()
+		if err == nil {
+			t.Fatal("Validate passed on a doubly-defective table")
+		}
+		if !strings.Contains(err.Error(), `state "h0p0s0a1"`) {
+			t.Fatalf("iteration %d: Validate reported %q, want the lexically-first defective state h0p0s0a1", i, err)
+		}
+	}
+}
+
 // TestStateKeyBuckets pins the discretisation on hand-built views: the
 // learned table's state space is part of the file format (keys appear in
 // serialised tables), so bucket boundaries must not drift silently.

@@ -145,6 +145,7 @@ func NewManager(reqs map[string]Requirement) *Manager {
 		lastFaultPlan:       math.Inf(-1),
 		policy:              heuristicPolicy{},
 	}
+	//detlint:ordered map-to-map copy; per-key writes are order-independent
 	for k, v := range reqs {
 		m.reqs[k] = v
 	}

@@ -89,6 +89,8 @@ func (v View) Clone() View {
 // Clone, but into dst's existing slices and map so a caller replanning
 // every tick (the Manager) clones without allocating once the buffers have
 // grown to the working-set size.
+//
+//detlint:hotpath
 func (v View) CloneInto(dst *View) {
 	apps, clusters, reqs := dst.Apps[:0], dst.Clusters[:0], dst.Reqs
 	*dst = v
@@ -98,6 +100,7 @@ func (v View) CloneInto(dst *View) {
 		reqs = make(map[string]Requirement, len(v.Reqs))
 	}
 	clear(reqs)
+	//detlint:ordered map-to-map copy; per-key writes are order-independent
 	for k, r := range v.Reqs {
 		reqs[k] = r
 	}
@@ -219,6 +222,7 @@ func ParamPolicies() []string {
 	policyMu.RLock()
 	defer policyMu.RUnlock()
 	out := make([]string, 0, len(paramFactories))
+	//detlint:ordered prefixes are decorated while collected, then sorted below
 	for prefix := range paramFactories {
 		out = append(out, prefix+":<arg>")
 	}
@@ -313,6 +317,8 @@ func newPlanState(v *View) *planState {
 // Iteration follows platform cluster order, not map order: the budget is a
 // float accumulation, and a run-dependent summation order could flip a
 // marginal feasibility decision between identical runs.
+//
+//detlint:hotpath
 func (st *planState) init(v *View) {
 	cls := v.Platform.Clusters
 	st.clusters = cls
@@ -413,6 +419,8 @@ type assignFunc func(v *View, st *planState, sc *planScratch, a sim.AppInfo) Ass
 // planWith runs a policy's assign step over the plannable DNNs in priority
 // order, building the plan in sc.plan. The returned slice aliases sc.plan
 // — callers that outlive the scratch must copy.
+//
+//detlint:hotpath
 func planWith(v *View, sc *planScratch, assign assignFunc) []Assignment {
 	sc.st.init(v)
 	plan := sc.plan[:0]
@@ -436,6 +444,8 @@ func pooledPlan(v *View, assign assignFunc) []Assignment {
 // engine order. The insertion sort is stable and comparison-compatible
 // with the sort.SliceStable it replaces, so the order — and therefore
 // every downstream planning decision — is identical.
+//
+//detlint:hotpath
 func (sc *planScratch) plannableDNNs(v *View) []sim.AppInfo {
 	dnns := sc.dnns[:0]
 	for _, a := range v.Apps {
@@ -480,6 +490,8 @@ func dynPowerMW(cl *hw.Cluster, opp hw.OPP, n int, util float64) float64 {
 // allocation). Options are appended into buf, which is reset and reused —
 // callers pass a scratch buffer and must consume the result before the
 // next call with the same buffer.
+//
+//detlint:hotpath
 func coreOptions(cl *hw.Cluster, st *planState, ci int, buf []int) []int {
 	buf = buf[:0]
 	if cl.Type.IsAccelerator() {
@@ -553,6 +565,8 @@ func evalCandidate(st *planState, a sim.AppInfo, req Requirement, cl *hw.Cluster
 
 // commit consumes ledger resources for the chosen candidate and converts
 // it into an Assignment.
+//
+//detlint:hotpath
 func (st *planState) commit(a sim.AppInfo, c candidate, pass int) Assignment {
 	cl := st.clusters[c.ci]
 	if c.duty > 0 && cl.Type.IsAccelerator() {

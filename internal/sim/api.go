@@ -228,6 +228,8 @@ func (e *Engine) Snapshot() Snapshot {
 // the per-call allocations, which is what lets a controller ticking every
 // simulated epoch snapshot allocation-free; pass a zero Snapshot to start
 // a fresh buffer set.
+//
+//detlint:hotpath
 func (e *Engine) SnapshotInto(s *Snapshot) {
 	s.TimeS = e.now
 	s.AmbientC = e.ambient

@@ -46,6 +46,8 @@ func (h eventHeap) before(i, j int) bool {
 }
 
 // push inserts an event, reusing the slice's spare capacity.
+//
+//detlint:hotpath
 func (h *eventHeap) push(ev hevent) {
 	s := append(*h, ev)
 	i := len(s) - 1
@@ -62,6 +64,8 @@ func (h *eventHeap) push(ev hevent) {
 
 // pop removes and returns the minimum event. The backing array is kept for
 // future pushes.
+//
+//detlint:hotpath
 func (h *eventHeap) pop() hevent {
 	s := *h
 	top := s[0]
@@ -97,8 +101,11 @@ func (e *Engine) push(t float64, kind hKind, app int32) int64 {
 // the same engine continues from the accumulated state (warm caches,
 // stats and all — the rtm tests use this to extend a managed run); use
 // Reset to rewind to the pristine state a fresh New would build.
+//
+//detlint:hotpath
 func (e *Engine) Run(endS float64) error {
 	if endS <= 0 {
+		//detlint:allow hotalloc one-time argument validation; never reached by the steady-state loop
 		return fmt.Errorf("sim: end time %f must be positive", endS)
 	}
 	e.endS = endS
@@ -128,6 +135,8 @@ func (e *Engine) Run(endS float64) error {
 
 // advanceTo integrates the piecewise-constant segment [now, t]: job
 // progress, per-cluster energy, and the thermal state.
+//
+//detlint:hotpath
 func (e *Engine) advanceTo(t float64) {
 	dt := t - e.now
 	if dt <= 0 {
@@ -523,6 +532,8 @@ func (e *Engine) emit(ev Event) {
 // after any state change. An event is only (re)scheduled when its estimate
 // actually moved: unconditional rescheduling would invalidate the event
 // just popped on every iteration and the heap would never drain.
+//
+//detlint:hotpath
 func (e *Engine) refresh() {
 	for _, a := range e.appList {
 		if a.Kind != KindDNN || !a.jobActive || a.stopped {
